@@ -1,0 +1,180 @@
+(** [parcoachc] — the PARCOACH compiler front end.
+
+    Parses and validates a hybrid MPI+OpenMP mini-language program, runs
+    the three static verification phases, prints the warnings, and
+    optionally emits the instrumented program and/or DOT dumps of the CFGs
+    annotated with parallelism words. *)
+
+open Cmdliner
+
+let read_program file bench =
+  match (file, bench) with
+  | Some path, None -> Minilang.Parser.parse_file path
+  | None, Some name -> (
+      match Benchsuite.Catalog.find name with
+      | Some entry -> entry.Benchsuite.Catalog.generate_small ()
+      | None ->
+          Fmt.epr "unknown benchmark '%s'; known: %s@." name
+            (String.concat ", " Benchsuite.Catalog.names);
+          exit 2)
+  | Some _, Some _ ->
+      Fmt.epr "give either a file or --bench, not both@.";
+      exit 2
+  | None, None ->
+      Fmt.epr "give a source file or --bench NAME@.";
+      exit 2
+
+let run file bench initial_multi level taint interproc json instrument_mode
+    output dot =
+  let program = read_program file bench in
+  let issues = Minilang.Validate.check_program program in
+  List.iter
+    (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i))
+    issues;
+  if not (Minilang.Validate.is_valid issues) then exit 1;
+  let options =
+    {
+      Parcoach.Driver.initial_word =
+        (if initial_multi then [ Parcoach.Pword.P 0 ] else []);
+      provided_level = level;
+      taint_filter = taint;
+      interprocedural = interproc;
+    }
+  in
+  let report = Parcoach.Driver.analyze ~options program in
+  if json then print_endline (Parcoach.Json_report.to_string report)
+  else Fmt.pr "%a" Parcoach.Driver.pp_report report;
+  (match dot with
+  | None -> ()
+  | Some prefix ->
+      List.iter
+        (fun fr ->
+          let g = fr.Parcoach.Driver.graph in
+          let pword = fr.Parcoach.Driver.pword in
+          let annot id =
+            Option.map Parcoach.Pword.to_string (Parcoach.Pword.pw_opt pword id)
+          in
+          let path = Printf.sprintf "%s.%s.dot" prefix fr.Parcoach.Driver.fname in
+          let oc = open_out path in
+          output_string oc (Cfg.Dot.to_dot ~annot g);
+          close_out oc;
+          Fmt.pr "wrote %s@." path)
+        report.Parcoach.Driver.funcs);
+  (match instrument_mode with
+  | None -> ()
+  | Some mode ->
+      let instrumented = Parcoach.Instrument.instrument report mode in
+      let source = Minilang.Pretty.program_to_string instrumented in
+      (match output with
+      | None -> print_string source
+      | Some path ->
+          let oc = open_out path in
+          output_string oc source;
+          close_out oc;
+          Fmt.pr "wrote instrumented program to %s@." path);
+      let ccs, counters, returns = Parcoach.Instrument.check_counts report mode in
+      Fmt.pr "inserted checks: %d CC, %d counters, %d return checks@." ccs
+        counters returns);
+  if Parcoach.Driver.warning_count report > 0 then exit 3
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Source file.")
+
+let bench =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"NAME"
+        ~doc:"Analyse a generated benchmark (BT-MZ, SP-MZ, LU-MZ, EPCC suite, HERA).")
+
+let initial_multi =
+  Arg.(
+    value & flag
+    & info [ "initial-multithreaded" ]
+        ~doc:
+          "Assume functions are entered from a multithreaded context \
+           (initial parallelism word P instead of the empty word).")
+
+let level =
+  let cv =
+    Arg.conv
+      ( (fun s ->
+          match Mpisim.Thread_level.of_string s with
+          | Some l -> Ok l
+          | None -> Error (`Msg (Printf.sprintf "unknown thread level '%s'" s))),
+        fun ppf l -> Fmt.string ppf (Mpisim.Thread_level.to_string l) )
+  in
+  Arg.(
+    value
+    & opt cv Mpisim.Thread_level.Multiple
+    & info [ "level" ] ~docv:"LEVEL"
+        ~doc:
+          "MPI thread level the program initialises (single, funneled, \
+           serialized, multiple).")
+
+let taint =
+  Arg.(
+    value & flag
+    & info [ "taint-filter" ]
+        ~doc:
+          "Only flag control-flow divergence on conditions that may be \
+           rank-dependent (dataflow taint analysis).")
+
+let interproc =
+  Arg.(
+    value & flag
+    & info [ "interprocedural" ]
+        ~doc:
+          "Treat calls to collective-bearing functions as pseudo-collective \
+           sites in the inter-process phase.")
+
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the analysis report as machine-readable JSON.")
+
+let instrument_mode =
+  let cv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "selective" -> Ok Parcoach.Instrument.Selective
+          | "exhaustive" -> Ok Parcoach.Instrument.Exhaustive
+          | _ -> Error (`Msg "expected 'selective' or 'exhaustive'")),
+        fun ppf m ->
+          Fmt.string ppf
+            (match m with
+            | Parcoach.Instrument.Selective -> "selective"
+            | Parcoach.Instrument.Exhaustive -> "exhaustive") )
+  in
+  Arg.(
+    value
+    & opt (some cv) None
+    & info [ "instrument" ] ~docv:"MODE"
+        ~doc:"Emit verification code: 'selective' (PARCOACH) or 'exhaustive'.")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Instrumented output file.")
+
+let dot =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"PREFIX"
+        ~doc:"Dump per-function CFGs (annotated with parallelism words).")
+
+let cmd =
+  let doc =
+    "static validation of MPI collectives in multi-threaded context"
+  in
+  Cmd.v
+    (Cmd.info "parcoachc" ~doc)
+    Term.(
+      const run $ file $ bench $ initial_multi $ level $ taint $ interproc
+      $ json $ instrument_mode $ output $ dot)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,192 @@
+(** [runsim] — execute a hybrid MPI+OpenMP mini-language program on the
+    simulated runtime, optionally after PARCOACH instrumentation, and
+    report the outcome (finished / clean verification abort / MPI fault /
+    deadlock) with execution statistics. *)
+
+open Cmdliner
+
+let read_program file bench =
+  match (file, bench) with
+  | Some path, None -> Minilang.Parser.parse_file path
+  | None, Some name -> (
+      match Benchsuite.Catalog.find name with
+      | Some entry -> entry.Benchsuite.Catalog.generate_small ()
+      | None ->
+          Fmt.epr "unknown benchmark '%s'; known: %s@." name
+            (String.concat ", " Benchsuite.Catalog.names);
+          exit 2)
+  | Some _, Some _ ->
+      Fmt.epr "give either a file or --bench, not both@.";
+      exit 2
+  | None, None ->
+      Fmt.epr "give a source file or --bench NAME@.";
+      exit 2
+
+let run file bench ranks threads seed round_robin max_steps instrument inject
+    show_trace must_check level =
+  let program = read_program file bench in
+  let issues = Minilang.Validate.check_program program in
+  List.iter (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i)) issues;
+  if not (Minilang.Validate.is_valid issues) then exit 1;
+  let program =
+    match inject with
+    | None -> program
+    | Some (bug, index) ->
+        Fmt.pr "injecting: %s at collective #%d@."
+          (Benchsuite.Injector.bug_name bug)
+          index;
+        Benchsuite.Injector.inject bug ~index program
+  in
+  let program =
+    match instrument with
+    | None -> program
+    | Some mode ->
+        let report = Parcoach.Driver.analyze program in
+        Fmt.pr "%a" Parcoach.Driver.pp_report report;
+        Parcoach.Instrument.instrument report mode
+  in
+  let config =
+    {
+      Interp.Sim.nranks = ranks;
+      default_nthreads = threads;
+      schedule = (if round_robin then `Round_robin else `Random seed);
+      max_steps;
+      entry = "main";
+      record_trace = true;
+      thread_level = level;
+    }
+  in
+  let result = Interp.Sim.run ~config program in
+  Fmt.pr "outcome: %a@." Interp.Sim.pp_outcome result.Interp.Sim.outcome;
+  let stats = result.Interp.Sim.stats in
+  Fmt.pr
+    "steps: %d | tasks: %d | work: %d | collectives: %d | CC checks: %d | \
+     counter checks: %d@."
+    stats.Interp.Sim.steps stats.Interp.Sim.tasks_spawned stats.Interp.Sim.work
+    (Mpisim.Engine.completed_count result.Interp.Sim.engine)
+    (Mpisim.Engine.cc_check_count result.Interp.Sim.engine)
+    stats.Interp.Sim.counter_checks;
+  if show_trace then
+    List.iter
+      (fun (rank, tid, value) ->
+        Fmt.pr "  [rank %d thread %d] print %d@." rank tid value)
+      (Interp.Sim.trace result);
+  if must_check then begin
+    let report = Mustlike.Overlay.check_engine result.Interp.Sim.engine in
+    Fmt.pr "MUST-like post-mortem trace check:@.%s@."
+      (Mustlike.Overlay.report_to_string report)
+  end;
+  match result.Interp.Sim.outcome with
+  | Interp.Sim.Finished -> ()
+  | Interp.Sim.Aborted _ -> exit 4
+  | Interp.Sim.Fault _ | Interp.Sim.Deadlock _ | Interp.Sim.Step_limit -> exit 5
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Source file.")
+
+let bench =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"NAME" ~doc:"Run a generated benchmark.")
+
+let ranks =
+  Arg.(value & opt int 4 & info [ "ranks"; "n" ] ~docv:"N" ~doc:"MPI processes.")
+
+let threads =
+  Arg.(
+    value & opt int 4
+    & info [ "threads"; "t" ] ~docv:"N" ~doc:"Default OpenMP team size.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+let round_robin =
+  Arg.(
+    value & flag
+    & info [ "round-robin" ] ~doc:"Deterministic round-robin scheduling.")
+
+let max_steps =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget before giving up.")
+
+let instrument =
+  let cv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "selective" -> Ok Parcoach.Instrument.Selective
+          | "exhaustive" -> Ok Parcoach.Instrument.Exhaustive
+          | _ -> Error (`Msg "expected 'selective' or 'exhaustive'")),
+        fun ppf m ->
+          Fmt.string ppf
+            (match m with
+            | Parcoach.Instrument.Selective -> "selective"
+            | Parcoach.Instrument.Exhaustive -> "exhaustive") )
+  in
+  Arg.(
+    value
+    & opt (some cv) None
+    & info [ "instrument" ] ~docv:"MODE"
+        ~doc:"Analyse and instrument before running ('selective'/'exhaustive').")
+
+let inject =
+  let bug_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "rank-divergence" -> Ok Benchsuite.Injector.Rank_divergence
+          | "into-parallel" -> Ok Benchsuite.Injector.Into_parallel
+          | "into-sections" -> Ok Benchsuite.Injector.Into_sections
+          | "operator-mismatch" -> Ok Benchsuite.Injector.Operator_mismatch
+          | "extra-collective" -> Ok Benchsuite.Injector.Extra_collective
+          | _ -> Error (`Msg (Printf.sprintf "unknown bug '%s'" s))),
+        fun ppf b -> Fmt.string ppf (Benchsuite.Injector.bug_name b) )
+  in
+  Arg.(
+    value
+    & opt (some (pair ~sep:(Char.chr 64) bug_conv int)) None
+    & info [ "inject" ] ~docv:"BUG@INDEX"
+        ~doc:
+          "Inject a bug before running, e.g. rank-divergence@0 \
+           (bugs: rank-divergence, into-parallel, into-sections, \
+           operator-mismatch, extra-collective).")
+
+let show_trace =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the trace of print() events.")
+
+let must_check =
+  Arg.(
+    value & flag
+    & info [ "must-check" ]
+        ~doc:
+          "After the run, validate the recorded per-rank collective traces \
+           with the MUST-style tree-overlay checker.")
+
+let level =
+  let cv =
+    Arg.conv
+      ( (fun s ->
+          match Mpisim.Thread_level.of_string s with
+          | Some l -> Ok l
+          | None -> Error (`Msg (Printf.sprintf "unknown thread level '%s'" s))),
+        fun ppf l -> Fmt.string ppf (Mpisim.Thread_level.to_string l) )
+  in
+  Arg.(
+    value
+    & opt cv Mpisim.Thread_level.Multiple
+    & info [ "level" ] ~docv:"LEVEL"
+        ~doc:
+          "MPI thread level the simulated library is initialised with \
+           (single, funneled, serialized, multiple); collectives issued \
+           from contexts requiring more are rejected.")
+
+let cmd =
+  let doc = "run hybrid MPI+OpenMP programs on the simulated runtime" in
+  Cmd.v
+    (Cmd.info "runsim" ~doc)
+    Term.(
+      const run $ file $ bench $ ranks $ threads $ seed $ round_robin
+      $ max_steps $ instrument $ inject $ show_trace $ must_check $ level)
+
+let () = exit (Cmd.eval cmd)

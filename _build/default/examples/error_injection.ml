@@ -1,0 +1,81 @@
+(** Fault-injection campaign on a realistic benchmark.
+
+    Takes the BT-MZ skeleton, plants each bug class of {!Benchsuite.Injector}
+    at a collective call site, and reports for each: how many extra static
+    warnings appear, and the runtime fate over a sweep of scheduler seeds,
+    uninstrumented vs with PARCOACH's selective instrumentation.
+
+    Run with: [dune exec examples/error_injection.exe] *)
+
+let seeds = List.init 10 (fun i -> i + 1)
+
+type tally = { mutable finished : int; mutable aborted : int; mutable faulted : int }
+
+let sweep program =
+  let t = { finished = 0; aborted = 0; faulted = 0 } in
+  List.iter
+    (fun seed ->
+      let config =
+        {
+          Interp.Sim.default_config with
+          nranks = 4;
+          default_nthreads = 3;
+          schedule = `Random seed;
+          max_steps = 5_000_000;
+        }
+      in
+      let result = Interp.Sim.run ~config program in
+      match result.Interp.Sim.outcome with
+      | Interp.Sim.Finished -> t.finished <- t.finished + 1
+      | Interp.Sim.Aborted _ -> t.aborted <- t.aborted + 1
+      | Interp.Sim.Fault _ | Interp.Sim.Deadlock _ | Interp.Sim.Step_limit ->
+          t.faulted <- t.faulted + 1)
+    seeds;
+  t
+
+let cell t =
+  Printf.sprintf "%d ok / %d abort / %d fault" t.finished t.aborted t.faulted
+
+let () =
+  let base = Benchsuite.Npb_mz.bt_mz ~clazz:Benchsuite.Npb_mz.S () in
+  let baseline_warnings =
+    Parcoach.Driver.warning_count (Parcoach.Driver.analyze base)
+  in
+  Fmt.pr "BT-MZ baseline: %d collective sites, %d static warning(s)@.@."
+    (Benchsuite.Injector.collective_count base)
+    baseline_warnings;
+  Fmt.pr "%-38s | %-9s | %-26s | %-26s@." "injected bug" "+warnings"
+    "uninstrumented (10 seeds)" "instrumented (10 seeds)";
+  Fmt.pr "%s@." (String.make 108 '-');
+  let bugs =
+    [
+      (Benchsuite.Injector.Rank_divergence, 2);
+      (Benchsuite.Injector.Into_parallel, 2);
+      (Benchsuite.Injector.Into_sections, 2);
+      (Benchsuite.Injector.Operator_mismatch, 4);
+      (Benchsuite.Injector.Extra_collective, 2);
+    ]
+  in
+  List.iter
+    (fun (bug, index) ->
+      let buggy = Benchsuite.Injector.inject bug ~index base in
+      let report = Parcoach.Driver.analyze buggy in
+      let added = Parcoach.Driver.warning_count report - baseline_warnings in
+      let instrumented =
+        Parcoach.Instrument.instrument report Parcoach.Instrument.Selective
+      in
+      Fmt.pr "%-38s | %+9d | %-26s | %-26s@."
+        (Benchsuite.Injector.bug_name bug)
+        added
+        (cell (sweep buggy))
+        (cell (sweep instrumented)))
+    bugs;
+  Fmt.pr
+    "@.Every planted bug raises at least one extra static warning.  \
+     Instrumented runs@.turn deadlocks/faults into clean aborts located at \
+     the offending call sites.@.Notes: the sections bug only manifests when \
+     the two regions actually overlap@.(dynamic checks cannot flag a race \
+     that does not happen), and a same-kind@.reduction with mismatched \
+     operators is caught by the MUST-style matching in the@.simulated MPI \
+     library — the paper's CC check deliberately does not inspect@.collective \
+     arguments.@."

@@ -1,0 +1,55 @@
+(** §4-style evaluation report over the whole benchmark catalog.
+
+    For every benchmark of the paper's Figure 1, prints program size, the
+    warnings of each static phase (with the error type, collective names
+    and source lines, as the paper's reports do), the instrumentation-point
+    counts of selective vs exhaustive code generation, and a validation run
+    of the instrumented program on the simulator.
+
+    Run with: [dune exec examples/npb_analysis.exe] *)
+
+let () =
+  List.iter
+    (fun (entry : Benchsuite.Catalog.entry) ->
+      let program = entry.Benchsuite.Catalog.generate_small () in
+      let size = Minilang.Ast.program_size program in
+      let colls = Benchsuite.Injector.collective_count program in
+      let funcs = List.length program.Minilang.Ast.funcs in
+      Fmt.pr "=== %s ===@." entry.Benchsuite.Catalog.name;
+      Fmt.pr "  %d functions, %d statements, %d collective call sites@." funcs
+        size colls;
+      let report = Parcoach.Driver.analyze program in
+      Fmt.pr "  --- warnings ---@.";
+      (if Parcoach.Driver.warning_count report = 0 then
+         Fmt.pr "  (none)@."
+       else
+         List.iter
+           (fun w -> Fmt.pr "  %a@." Parcoach.Warning.pp w)
+           (Parcoach.Driver.all_warnings report));
+      let sel_cc, sel_cnt, sel_ret =
+        Parcoach.Instrument.check_counts report Parcoach.Instrument.Selective
+      in
+      let exh_cc, exh_cnt, exh_ret =
+        Parcoach.Instrument.check_counts report Parcoach.Instrument.Exhaustive
+      in
+      Fmt.pr
+        "  checks: selective %d CC + %d counters + %d returns | exhaustive \
+         %d CC + %d counters + %d returns@."
+        sel_cc sel_cnt sel_ret exh_cc exh_cnt exh_ret;
+      let instrumented =
+        Parcoach.Instrument.instrument report Parcoach.Instrument.Selective
+      in
+      let config =
+        {
+          Interp.Sim.default_config with
+          nranks = 4;
+          default_nthreads = 3;
+          max_steps = 10_000_000;
+        }
+      in
+      let result = Interp.Sim.run ~config instrumented in
+      Fmt.pr "  instrumented run: %a (%d steps, %d CC rendezvous)@.@."
+        Interp.Sim.pp_outcome result.Interp.Sim.outcome
+        result.Interp.Sim.stats.Interp.Sim.steps
+        (Mpisim.Engine.cc_check_count result.Interp.Sim.engine))
+    Benchsuite.Catalog.all

@@ -1,0 +1,1 @@
+lib/benchsuite/catalog.ml: Ast Epcc Hera List Minilang Npb_mz String

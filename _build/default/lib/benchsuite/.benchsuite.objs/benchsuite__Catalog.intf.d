@@ -1,0 +1,1 @@
+lib/benchsuite/catalog.mli: Minilang

@@ -1,0 +1,1 @@
+lib/benchsuite/epcc.ml: Ast Builder List Minilang Printf

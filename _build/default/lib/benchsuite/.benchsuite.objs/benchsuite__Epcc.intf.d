@@ -1,0 +1,1 @@
+lib/benchsuite/epcc.mli: Minilang

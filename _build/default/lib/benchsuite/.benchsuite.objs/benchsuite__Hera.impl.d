@@ -1,0 +1,1 @@
+lib/benchsuite/hera.ml: Ast Builder List Minilang Printf

@@ -1,0 +1,1 @@
+lib/benchsuite/hera.mli: Minilang

@@ -1,0 +1,1 @@
+lib/benchsuite/injector.ml: Ast List Minilang String

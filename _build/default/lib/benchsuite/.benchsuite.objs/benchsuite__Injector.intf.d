@@ -1,0 +1,1 @@
+lib/benchsuite/injector.mli: Minilang

@@ -1,0 +1,1 @@
+lib/benchsuite/npb_mz.ml: Ast Builder List Minilang Printf

@@ -1,0 +1,1 @@
+lib/benchsuite/npb_mz.mli: Minilang

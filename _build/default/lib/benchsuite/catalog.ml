@@ -1,0 +1,47 @@
+(** The evaluation catalog: the five benchmarks of the paper's Figure 1,
+    with the size presets used by the bench harness, plus small correct and
+    buggy example programs shared by tests and examples. *)
+
+open Minilang
+
+type entry = {
+  name : string;  (** Display name, as in Figure 1. *)
+  generate : unit -> Ast.program;
+      (** Figure-1 size (structure comparable in relative size to the
+          evaluated codes). *)
+  generate_small : unit -> Ast.program;
+      (** Small instance that runs in a few thousand simulator steps. *)
+}
+
+let all : entry list =
+  [
+    {
+      name = "BT-MZ";
+      generate = (fun () -> Npb_mz.bt_mz ~clazz:Npb_mz.C ());
+      generate_small = (fun () -> Npb_mz.bt_mz ~clazz:Npb_mz.S ());
+    };
+    {
+      name = "SP-MZ";
+      generate = (fun () -> Npb_mz.sp_mz ~clazz:Npb_mz.C ());
+      generate_small = (fun () -> Npb_mz.sp_mz ~clazz:Npb_mz.S ());
+    };
+    {
+      name = "LU-MZ";
+      generate = (fun () -> Npb_mz.lu_mz ~clazz:Npb_mz.C ());
+      generate_small = (fun () -> Npb_mz.lu_mz ~clazz:Npb_mz.S ());
+    };
+    {
+      name = "EPCC suite";
+      generate = (fun () -> Epcc.suite ~reps:4 ~variants:6 ());
+      generate_small = (fun () -> Epcc.suite ~reps:1 ());
+    };
+    {
+      name = "HERA";
+      generate = (fun () -> Hera.hera ~levels:8 ~packages:24 ());
+      generate_small = (fun () -> Hera.hera ~levels:2 ~packages:3 ());
+    };
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+let names = List.map (fun e -> e.name) all

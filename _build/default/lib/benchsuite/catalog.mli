@@ -1,0 +1,14 @@
+(** The evaluation catalog: the five benchmarks of the paper's Figure 1. *)
+
+type entry = {
+  name : string;  (** Display name, as in Figure 1. *)
+  generate : unit -> Minilang.Ast.program;  (** Figure-1-size instance. *)
+  generate_small : unit -> Minilang.Ast.program;
+      (** Small instance that runs in a few thousand simulator steps. *)
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val names : string list

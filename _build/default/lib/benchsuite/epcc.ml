@@ -1,0 +1,187 @@
+(** Synthetic skeleton of the EPCC mixed-mode MPI+OpenMP micro-benchmark
+    suite v1.0.
+
+    The suite measures the cost of MPI operations performed from within
+    OpenMP regions under the different thread levels: each micro-benchmark
+    is a repetition loop around a parallel region in which the
+    communication is performed by the master thread (funnelled variants),
+    by exactly one thread via [single] (serialized variants), or is pure
+    thread-level work (overhead probes).  This is the structure that
+    exercises the paper's phase-1/phase-2 analyses most directly. *)
+
+open Minilang
+open Minilang.Builder
+
+(* Thread-local delay loop, the suite's "work" unit. *)
+let delay_work ~cost =
+  omp_for "w" (i 0) (i 4)
+    [ decl "acc" (v "w" *: i cost); assign "acc" (v "acc" +: i 1); compute (i cost) ]
+
+(* Funnelled variant: the master thread communicates, the team
+   synchronises around it. *)
+let funnelled_bench ~name ~reps coll_stmt =
+  func name ~params:[]
+    [
+      for_ "rep" (i 0) (i reps)
+        [
+          parallel
+            [
+              delay_work ~cost:4;
+              omp_barrier;
+              master [ coll_stmt () ];
+              omp_barrier;
+            ];
+        ];
+    ]
+
+(* Serialized variant: any one thread communicates ([single]). *)
+let serialized_bench ~name ~reps coll_stmt =
+  func name ~params:[]
+    [
+      for_ "rep" (i 0) (i reps)
+        [
+          parallel
+            [
+              delay_work ~cost:4;
+              single [ coll_stmt () ];
+            ];
+        ];
+    ]
+
+(* Thread-parallelism overhead probe: no MPI at all. *)
+let overhead_bench ~name ~reps =
+  func name ~params:[]
+    [
+      for_ "rep" (i 0) (i reps)
+        [
+          parallel [ delay_work ~cost:2 ];
+          compute (i 1);
+        ];
+    ]
+
+(* Halo-exchange style benchmark: boundary packing in a worksharing loop,
+   then a rank-level exchange (modelled by the collective), then unpack. *)
+let halo_bench ~name ~reps =
+  func name ~params:[]
+    [
+      decl "halo" (i 0);
+      for_ "rep" (i 0) (i reps)
+        [
+          parallel
+            [
+              omp_for "cell" (i 0) (i 8)
+                [ compute (i 2) ];
+              single [ allgather ~target:"halo" (v "halo") ];
+            ];
+          assign "halo" (v "halo" /: i 2);
+        ];
+    ]
+
+(* The "multiple" thread-level tests proper: every thread of the team does
+   its own point-to-point ping with a per-thread tag — the pattern that
+   requires MPI_THREAD_MULTIPLE (P2P is outside the collective-validation
+   scope, but the simulator's thread-level enforcement covers it). *)
+let multiple_p2p_bench ~name ~reps =
+  func name ~params:[]
+    [
+      decl "got" (i 0);
+      for_ "rep" (i 0) (i reps)
+        [
+          parallel ~num_threads:(i 2)
+            [
+              send
+                ~dest:((rank +: i 1) %: size)
+                ~tag:(i 100 +: tid)
+                (rank *: i 10 +: tid);
+              omp_barrier;
+            ];
+          parallel ~num_threads:(i 2)
+            [
+              critical [ recv ~target:"got" ~src:((rank +: size -: i 1) %: size)
+                           ~tag:(i 100 +: tid) () ];
+            ];
+        ];
+      barrier ();
+    ]
+
+(* Critical-section probe of the "multiple" thread-level tests: all threads
+   serialise through a critical section (thread-level work only; the MPI
+   part of the multiple tests is point-to-point and out of collective
+   scope). *)
+let multiple_bench ~name ~reps =
+  func name ~params:[]
+    [
+      for_ "rep" (i 0) (i reps)
+        [
+          parallel
+            [
+              delay_work ~cost:2;
+              critical [ compute (i 1) ];
+              omp_barrier;
+            ];
+        ];
+      barrier ();
+    ]
+
+(** The EPCC driver: broadcast of the benchmark parameters, every
+    micro-benchmark in sequence, then a gather of the timings.
+    [variants] replicates each micro-benchmark (the real suite measures
+    several message/data sizes per benchmark); only the first variant of
+    each is called by [main], mirroring a run configuration that exercises
+    one size (the others are still compiled and analysed). *)
+let suite ?(reps = 2) ?(variants = 1) () =
+  let benches =
+    [
+      ("overhead_parallel", overhead_bench ~name:"overhead_parallel" ~reps);
+      ( "funnelled_barrier",
+        funnelled_bench ~name:"funnelled_barrier" ~reps (fun () -> barrier ()) );
+      ( "funnelled_reduce",
+        funnelled_bench ~name:"funnelled_reduce" ~reps (fun () ->
+            reduce ~op:Ast.Rsum ~root:(i 0) (i 1)) );
+      ( "funnelled_bcast",
+        funnelled_bench ~name:"funnelled_bcast" ~reps (fun () ->
+            bcast ~root:(i 0) (i 7)) );
+      ( "funnelled_alltoall",
+        funnelled_bench ~name:"funnelled_alltoall" ~reps (fun () ->
+            alltoall (i 3)) );
+      ( "serialized_barrier",
+        serialized_bench ~name:"serialized_barrier" ~reps (fun () -> barrier ()) );
+      ( "serialized_allreduce",
+        serialized_bench ~name:"serialized_allreduce" ~reps (fun () ->
+            allreduce ~op:Ast.Rsum (i 1)) );
+      ( "serialized_scatter",
+        serialized_bench ~name:"serialized_scatter" ~reps (fun () ->
+            scatter ~root:(i 0) (i 9)) );
+      ( "serialized_gather",
+        serialized_bench ~name:"serialized_gather" ~reps (fun () ->
+            gather ~root:(i 0) (i 5)) );
+      ("halo_exchange", halo_bench ~name:"halo_exchange" ~reps);
+      ("multiple_critical", multiple_bench ~name:"multiple_critical" ~reps);
+      ("multiple_p2p", multiple_p2p_bench ~name:"multiple_p2p" ~reps);
+    ]
+  in
+  (* Variant copies are compiled and analysed but main runs one size. *)
+  let variant_funcs =
+    List.concat_map
+      (fun (name, f) ->
+        List.init (max 0 (variants - 1)) (fun k ->
+            let vname = Printf.sprintf "%s_v%d" name (k + 1) in
+            { f with Ast.fname = vname }))
+      benches
+  in
+  let main =
+    func "main" ~params:[]
+      ([
+         decl "params" (i 0);
+         bcast ~target:"params" ~root:(i 0) (v "params");
+         barrier ();
+       ]
+      @ List.map (fun (name, _) -> call name []) benches
+      @ [
+          decl "timing" rank;
+          gather ~target:"timing" ~root:(i 0) (v "timing");
+          if_ (rank ==: i 0) [ print (v "timing") ] [];
+          barrier ();
+        ])
+  in
+  Builder.number_lines (program ((main :: List.map snd benches) @ variant_funcs))

@@ -1,0 +1,9 @@
+(** Synthetic skeleton of the EPCC mixed-mode MPI+OpenMP micro-benchmark
+    suite v1.0: funnelled (master) and serialized (single) variants of the
+    collective benchmarks, overhead probes, a halo exchange, and the
+    "multiple" thread-level point-to-point tests. *)
+
+(** [suite ~reps ~variants ()]: [reps] scales the repetition loops;
+    [variants] replicates each micro-benchmark (like the suite's data
+    sizes — compiled and analysed, one size run by [main]). *)
+val suite : ?reps:int -> ?variants:int -> unit -> Minilang.Ast.program

@@ -1,0 +1,251 @@
+(** Synthetic skeleton of HERA, the CEA 2D/3D AMR multi-physics hydrocode
+    platform used in the paper's evaluation.
+
+    HERA is by far the largest of the evaluated applications: a deep call
+    tree (per-package physics drivers), an adaptive time-step loop whose
+    exit condition comes out of an [MPI_Allreduce], conditional phases
+    (regridding, load balancing, I/O dumps triggered every [k] steps) and
+    OpenMP-threaded patch sweeps inside each level of the AMR hierarchy.
+    The skeleton reproduces exactly these control structures — they are
+    what drives the number of warnings and the instrumentation points.
+
+    [levels] and [packages] scale the AMR depth and the number of physics
+    packages (hydro, diffusion, gravity, ...), hence the program size. *)
+
+open Minilang
+open Minilang.Builder
+
+let read_input_func =
+  func "read_input" ~params:[]
+    [
+      decl "tmax" (i 8);
+      bcast ~target:"tmax" ~root:(i 0) (v "tmax");
+      decl "maxstep" (i 4);
+      bcast ~target:"maxstep" ~root:(i 0) (v "maxstep");
+      decl "regrid_freq" (i 2);
+      bcast ~target:"regrid_freq" ~root:(i 0) (v "regrid_freq");
+      decl "output_freq" (i 2);
+      bcast ~target:"output_freq" ~root:(i 0) (v "output_freq");
+      barrier ();
+    ]
+
+let setup_amr_func ~levels =
+  func "setup_amr" ~params:[]
+    [
+      decl "local_patches" (rank +: i levels);
+      decl "patch_map" (i 0);
+      allgather ~target:"patch_map" (v "local_patches");
+      for_ "l" (i 0) (i levels)
+        [
+          parallel
+            [ omp_for "p" (i 0) (v "patch_map") [ compute (i 3) ] ];
+        ];
+      barrier ();
+    ]
+
+(* The CFL time-step computation: local minimum in a threaded reduction,
+   then a global MPI_Allreduce(MIN).  The result is symmetric, so loop
+   conditions depending on it are NOT rank-dependent — the rank-taint
+   ablation keys on exactly this pattern. *)
+let compute_dt_func =
+  func "compute_dt" ~params:[ "step" ]
+    [
+      decl "local_dt" (i 10 -: (v "step" %: i 3));
+      parallel
+        [
+          (* Per-patch CFL minimum via an OpenMP reduction, then the
+             global MPI_Allreduce(MIN) below. *)
+          omp_for ~reduction:(Ast.Rmin, "local_dt") "p" (i 0) (i 6)
+            [ assign "local_dt" (v "p" +: (v "step" %: i 3) +: i 2) ];
+          critical [ compute (i 1) ];
+        ];
+      decl "dt" (i 0);
+      allreduce ~target:"dt" ~op:Ast.Rmin (v "local_dt");
+      print (v "dt");
+    ]
+
+(* One physics package sweep over one AMR level: threaded patch loop with
+   a ghost-cell fill (barrier) between sub-stages. *)
+let package_func ~name ~cost =
+  func name ~params:[ "level"; "npatches" ]
+    [
+      parallel
+        [
+          omp_for "p" (i 0) (v "npatches")
+            [
+              decl "u" (v "p" *: i cost);
+              assign "u" (v "u" +: v "level");
+              compute (i cost);
+            ];
+          omp_barrier;
+          omp_for "p2" (i 0) (v "npatches") [ compute (i cost) ];
+        ];
+    ]
+
+(* Elliptic gravity solve: multigrid V-cycles iterated until the global
+   residual (an Allreduce) converges — a data-dependent collective loop. *)
+let gravity_func =
+  func "gravity_solve" ~params:[ "npatches" ]
+    [
+      decl "residual" (i 4);
+      while_
+        (v "residual" >: i 1)
+        [
+          parallel
+            [ omp_for "p" (i 0) (v "npatches") [ compute (i 5) ] ];
+          assign "residual" (v "residual" -: i 1);
+          allreduce ~target:"residual" ~op:Ast.Rmax (v "residual");
+        ];
+    ]
+
+(* Implicit diffusion solve: conjugate-gradient style iteration with a
+   global convergence test per sweep — a second data-dependent collective
+   loop, as in HERA's radiation/conduction packages. *)
+let diffusion_func =
+  func "diffusion_solve" ~params:[ "npatches" ]
+    [
+      decl "rnorm" (i 3);
+      while_
+        (v "rnorm" >: i 0)
+        [
+          parallel
+            [ omp_for "p" (i 0) (v "npatches") [ compute (i 4) ] ];
+          assign "rnorm" (v "rnorm" -: i 1);
+          allreduce ~target:"rnorm" ~op:Ast.Rmin (v "rnorm");
+        ];
+    ]
+
+let flux_correct_func =
+  func "flux_correct" ~params:[ "level" ]
+    [
+      parallel
+        [
+          omp_for "f" (i 0) (i 4) [ compute (i 2) ];
+          single [ compute (i 1) ];
+        ];
+      barrier ();
+    ]
+
+(* Per-level driver calling every physics package. *)
+let advance_level_func ~packages =
+  let package_calls =
+    List.init packages (fun k ->
+        call (Printf.sprintf "package_%d" k) [ v "level"; v "npatches" ])
+  in
+  func "advance_level" ~params:[ "level" ]
+    ([ decl "npatches" (i 4 +: v "level") ]
+    @ package_calls
+    @ [
+        call "gravity_solve" [ v "npatches" ];
+        call "diffusion_solve" [ v "npatches" ];
+        call "flux_correct" [ v "level" ];
+      ])
+
+let hydro_step_func ~levels =
+  func "hydro_step" ~params:[ "step" ]
+    [
+      for_ "level" (i 0) (i levels) [ call "advance_level" [ v "level" ] ];
+      barrier ();
+    ]
+
+(* Regridding: error estimation per patch, then a gather of the new grid
+   hierarchy at the master and a broadcast of the balanced map. *)
+let regrid_func =
+  func "regrid" ~params:[ "step" ]
+    [
+      decl "flags" (i 0);
+      parallel
+        [ omp_for "p" (i 0) (i 6) [ compute (i 2) ] ];
+      assign "flags" (v "step" %: i 4);
+      if_
+        (v "step" %: i 2 ==: i 0)
+        [ gather ~target:"flags" ~root:(i 0) (v "flags") ]
+        [];
+      decl "new_map" (i 0);
+      bcast ~target:"new_map" ~root:(i 0) (v "flags");
+      call "load_balance" [ v "new_map" ];
+    ]
+
+let load_balance_func =
+  func "load_balance" ~params:[ "map" ]
+    [
+      decl "moved" (v "map" %: i 2);
+      alltoall ~target:"moved" (v "moved");
+      barrier ();
+    ]
+
+let dump_io_func =
+  func "dump_io" ~params:[ "step" ]
+    [
+      decl "blob" (v "step" *: i 3);
+      if_
+        (v "step" %: i 2 ==: i 1)
+        [
+          gather ~target:"blob" ~root:(i 0) (v "blob");
+          if_ (rank ==: i 0) [ print (v "blob") ] [];
+        ]
+        [];
+    ]
+
+let finalize_func =
+  func "finalize_stats" ~params:[ "step" ]
+    [
+      decl "cells" (v "step" *: i 7);
+      reduce ~target:"cells" ~op:Ast.Rsum ~root:(i 0) (v "cells");
+      if_ (rank ==: i 0) [ print (v "cells") ] [];
+      barrier ();
+    ]
+
+let main_func =
+  func "main" ~params:[]
+    [
+      call "read_input" [];
+      call "setup_amr" [];
+      decl "t" (i 0);
+      decl "step" (i 0);
+      while_
+        (v "t" <: i 6 &&: (v "step" <: i 3))
+        [
+          call "compute_dt" [ v "step" ];
+          call "hydro_step" [ v "step" ];
+          if_
+            (v "step" %: i 2 ==: i 0)
+            [ call "regrid" [ v "step" ] ]
+            [];
+          if_
+            (v "step" %: i 2 ==: i 1)
+            [ call "dump_io" [ v "step" ] ]
+            [];
+          assign "t" (v "t" +: i 2);
+          assign "step" (v "step" +: i 1);
+        ];
+      call "finalize_stats" [ v "step" ];
+    ]
+
+(** Generate the HERA skeleton with the given AMR depth and number of
+    physics packages. *)
+let hera ?(levels = 3) ?(packages = 6) () =
+  let package_funcs =
+    List.init packages (fun k ->
+        package_func ~name:(Printf.sprintf "package_%d" k) ~cost:(2 + (k mod 3)))
+  in
+  Builder.number_lines
+    (program
+       ([
+          main_func;
+          read_input_func;
+          setup_amr_func ~levels;
+          compute_dt_func;
+          hydro_step_func ~levels;
+          advance_level_func ~packages;
+        ]
+       @ package_funcs
+       @ [
+           gravity_func;
+           diffusion_func;
+           flux_correct_func;
+           regrid_func;
+           load_balance_func;
+           dump_io_func;
+           finalize_func;
+         ]))

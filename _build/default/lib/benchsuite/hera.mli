@@ -1,0 +1,9 @@
+(** Synthetic skeleton of HERA, the CEA AMR multi-physics hydrocode of the
+    paper's evaluation: adaptive time-step loop driven by an
+    MPI_Allreduce, per-level physics-package sweeps, data-dependent
+    convergence loops (gravity, diffusion), conditional regrid/IO phases
+    and final statistics reductions. *)
+
+(** [hera ~levels ~packages ()]: AMR depth and number of physics
+    packages (scales the program size). *)
+val hera : ?levels:int -> ?packages:int -> unit -> Minilang.Ast.program

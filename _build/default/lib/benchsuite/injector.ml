@@ -1,0 +1,151 @@
+(** Error injection: plant the bug classes the paper targets into a correct
+    program, to measure detection (static warnings, runtime aborts) on
+    realistic codes.
+
+    Injection sites are counted over the collective call statements of the
+    whole program in source order (nested blocks included), so tests can
+    address "the k-th collective of BT-MZ" stably. *)
+
+open Minilang
+open Minilang.Builder
+
+type bug =
+  | Rank_divergence
+      (** Execute the collective only on rank 0: mismatch/deadlock. *)
+  | Into_parallel
+      (** Wrap the collective in a [parallel] region: executed by every
+          thread of the team (phase-1 violation). *)
+  | Into_sections
+      (** Duplicate the collective into two concurrent [section]s
+          (phase-2 violation). *)
+  | Operator_mismatch
+      (** Rank-dependent reduction operator (detected at the rendezvous). *)
+  | Extra_collective
+      (** Insert an extra barrier on the last rank only. *)
+
+let bug_name = function
+  | Rank_divergence -> "rank-divergent collective"
+  | Into_parallel -> "collective in parallel region"
+  | Into_sections -> "collective duplicated in concurrent sections"
+  | Operator_mismatch -> "rank-dependent reduction operator"
+  | Extra_collective -> "extra collective on one rank"
+
+(** Number of collective call statements in [program]. *)
+let collective_count (program : Ast.program) =
+  List.fold_left
+    (fun n f ->
+      Ast.fold_stmts
+        (fun n s -> match s.Ast.sdesc with Ast.Coll _ -> n + 1 | _ -> n)
+        n f.Ast.body)
+    0 program.Ast.funcs
+
+(* Rewrites the [index]-th collective statement (0-based, program order)
+   with [rewrite]; returns the new program.  Statements produced by
+   [rewrite] are renumbered lines so reports stay readable. *)
+let rewrite_nth_collective (program : Ast.program) ~index ~rewrite =
+  let counter = ref (-1) in
+  let rec on_block block = List.concat_map on_stmt block
+  and on_stmt s =
+    match s.Ast.sdesc with
+    | Ast.Coll _ ->
+        incr counter;
+        if !counter = index then rewrite s else [ s ]
+    | Ast.If (c, bt, bf) ->
+        [ { s with Ast.sdesc = Ast.If (c, on_block bt, on_block bf) } ]
+    | Ast.While (c, b) -> [ { s with Ast.sdesc = Ast.While (c, on_block b) } ]
+    | Ast.For (x, lo, hi, b) ->
+        [ { s with Ast.sdesc = Ast.For (x, lo, hi, on_block b) } ]
+    | Ast.Omp_parallel { num_threads; body } ->
+        [
+          {
+            s with
+            Ast.sdesc = Ast.Omp_parallel { num_threads; body = on_block body };
+          };
+        ]
+    | Ast.Omp_single { nowait; body } ->
+        [ { s with Ast.sdesc = Ast.Omp_single { nowait; body = on_block body } } ]
+    | Ast.Omp_master body ->
+        [ { s with Ast.sdesc = Ast.Omp_master (on_block body) } ]
+    | Ast.Omp_critical (name, body) ->
+        [ { s with Ast.sdesc = Ast.Omp_critical (name, on_block body) } ]
+    | Ast.Omp_for { var; lo; hi; nowait; reduction; body } ->
+        [
+          {
+            s with
+            Ast.sdesc =
+              Ast.Omp_for { var; lo; hi; nowait; reduction; body = on_block body };
+          };
+        ]
+    | Ast.Omp_sections { nowait; sections } ->
+        [
+          {
+            s with
+            Ast.sdesc =
+              Ast.Omp_sections { nowait; sections = List.map on_block sections };
+          };
+        ]
+    | Ast.Decl _ | Ast.Assign _ | Ast.Return | Ast.Call _ | Ast.Compute _
+    | Ast.Print _ | Ast.Send _ | Ast.Recv _ | Ast.Omp_barrier | Ast.Check _ ->
+        [ s ]
+  in
+  {
+    Ast.funcs =
+      List.map
+        (fun f -> { f with Ast.body = on_block f.Ast.body })
+        program.Ast.funcs;
+  }
+
+(** [inject bug ~index program] plants [bug] at the [index]-th collective.
+    @raise Invalid_argument if [index] is out of range. *)
+let inject bug ~index (program : Ast.program) =
+  if index < 0 || index >= collective_count program then
+    invalid_arg "Injector.inject: collective index out of range";
+  let rewrite (s : Ast.stmt) =
+    match bug with
+    | Rank_divergence -> [ if_ (rank ==: i 0) [ s ] [] ]
+    | Into_parallel -> [ parallel ~num_threads:(i 2) [ s ] ]
+    | Into_sections -> [ sections [ [ s ]; [ { s with Ast.sloc = s.Ast.sloc } ] ] ]
+    | Operator_mismatch ->
+        let flip op = if op = Ast.Rsum then Ast.Rmax else Ast.Rsum in
+        let flipped =
+          match s.Ast.sdesc with
+          | Ast.Coll (tgt, Ast.Allreduce { op; value }) ->
+              Some
+                {
+                  s with
+                  Ast.sdesc = Ast.Coll (tgt, Ast.Allreduce { op = flip op; value });
+                }
+          | Ast.Coll (tgt, Ast.Reduce { op; root; value }) ->
+              Some
+                {
+                  s with
+                  Ast.sdesc =
+                    Ast.Coll (tgt, Ast.Reduce { op = flip op; root; value });
+                }
+          | _ -> None
+        in
+        (match flipped with
+        | Some s' -> [ if_ (rank ==: i 0) [ s' ] [ s ] ]
+        | None ->
+            (* Not a reduction: degrade to a collective-kind mismatch. *)
+            [ if_ (rank ==: i 0) [ barrier () ] [ s ] ])
+    | Extra_collective -> [ s; if_ (rank ==: size -: i 1) [ barrier () ] [] ]
+  in
+  rewrite_nth_collective program ~index ~rewrite
+
+(** Indices of all collectives whose enclosing function is [fname], handy
+    for targeting injections. *)
+let collective_indices_in (program : Ast.program) ~fname =
+  let counter = ref (-1) in
+  List.concat_map
+    (fun (f : Ast.func) ->
+      List.rev
+        (Ast.fold_stmts
+           (fun acc s ->
+             match s.Ast.sdesc with
+             | Ast.Coll _ ->
+                 incr counter;
+                 if String.equal f.Ast.fname fname then !counter :: acc else acc
+             | _ -> acc)
+           [] f.Ast.body))
+    program.Ast.funcs

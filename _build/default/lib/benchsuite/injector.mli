@@ -1,0 +1,20 @@
+(** Error injection: plant the paper's bug classes into a correct program.
+    Injection sites count the collective call statements of the whole
+    program in source order. *)
+
+type bug =
+  | Rank_divergence  (** Execute the collective only on rank 0. *)
+  | Into_parallel  (** Wrap the collective in a 2-thread parallel region. *)
+  | Into_sections  (** Duplicate it into two concurrent sections. *)
+  | Operator_mismatch  (** Rank-dependent reduction operator/kind. *)
+  | Extra_collective  (** Extra barrier on the last rank only. *)
+
+val bug_name : bug -> string
+
+val collective_count : Minilang.Ast.program -> int
+
+(** @raise Invalid_argument if [index] is out of range. *)
+val inject : bug -> index:int -> Minilang.Ast.program -> Minilang.Ast.program
+
+(** Global indices of the collectives inside function [fname]. *)
+val collective_indices_in : Minilang.Ast.program -> fname:string -> int list

@@ -1,0 +1,215 @@
+(** Synthetic skeletons of the NAS Parallel Benchmarks Multi-Zone suite
+    (NPB-MZ v3.2): BT-MZ, SP-MZ and LU-MZ.
+
+    The generators mirror the structure of the public Fortran+MPI+OpenMP
+    sources — the function decomposition, the time-step loop, the
+    boundary-exchange phase, the per-zone OpenMP parallel solves, and the
+    MPI collectives of setup and verification — with the numeric kernels
+    replaced by [compute] statements.  Compile-time overhead (Figure 1)
+    depends only on this structure: number of statements, conditionals,
+    OpenMP constructs and collective call sites.
+
+    [clazz] scales the skeleton like the NPB problem classes: it multiplies
+    the number of zones, solver stages, and unrolled kernel statements. *)
+
+open Minilang
+open Minilang.Builder
+
+type clazz = S | A | B | C
+
+let scale = function S -> 1 | A -> 2 | B -> 4 | C -> 8
+
+(* A bulked-up numeric kernel: [stages] perfectly-ordinary statement groups
+   inside a worksharing loop, as in the unrolled stencil sweeps of the
+   solvers. *)
+let kernel_loop ~index ~bound ~stages ~cost =
+  let body =
+    List.concat
+      (List.init stages (fun s ->
+           [
+             decl (Printf.sprintf "t%d" s) (v index *: i (succ s));
+             assign
+               (Printf.sprintf "t%d" s)
+               (v (Printf.sprintf "t%d" s) +: v index);
+             compute (i cost);
+           ]))
+  in
+  omp_for index (i 0) bound body
+
+(* One directional solve (x/y/z_solve in BT/SP): an OpenMP parallel region
+   with a worksharing sweep per stage. *)
+let solve_func ~name ~stages ~cost =
+  func name ~params:[ "nx" ]
+    [
+      decl "norm" (i 0);
+      parallel
+        [
+          kernel_loop ~index:"ii" ~bound:(v "nx") ~stages ~cost;
+          omp_barrier;
+          kernel_loop ~index:"jj" ~bound:(v "nx") ~stages ~cost;
+          (* Per-sweep residual norm, accumulated with a reduction as in
+             the reference implementation. *)
+          omp_for ~reduction:(Ast.Rsum, "norm") "nb" (i 0) (v "nx")
+            [ assign "norm" (v "norm" +: v "nb") ];
+        ];
+      compute ((v "norm" %: i 7) +: i 1);
+    ]
+
+(* Boundary exchange between zones.  The real code uses point-to-point
+   messages per zone pair plus a barrier per exchange round; the skeleton
+   keeps the barrier and a reduction used by the load-balance check. *)
+let exch_qbc_func ~zones =
+  func "exch_qbc" ~params:[ "step" ]
+    [
+      decl "faces" (i 0);
+      for_ "z" (i 0) (i zones)
+        [
+          assign "faces" (v "faces" +: v "z");
+          compute (i 8);
+        ];
+      (* Ring exchange of the zone boundary faces, as the reference code
+         does with point-to-point messages. *)
+      send ~dest:((rank +: i 1) %: size) ~tag:(i 1) (v "faces");
+      decl "ghost" (i 0);
+      recv ~target:"ghost" ~src:((rank +: size -: i 1) %: size) ~tag:(i 1) ();
+      assign "faces" (v "faces" +: v "ghost");
+      barrier ();
+      decl "balance" (i 0);
+      assign "balance" (v "faces" +: v "step");
+      allreduce ~target:"balance" ~op:Ast.Rmax (v "balance");
+    ]
+
+let initialize_func ~zones ~stages =
+  func "initialize" ~params:[]
+    [
+      decl "params" (i 1);
+      bcast ~target:"params" ~root:(i 0) (v "params");
+      decl "zone_size" (v "params" *: i zones);
+      parallel
+        [
+          kernel_loop ~index:"z" ~bound:(i zones) ~stages ~cost:4;
+        ];
+      barrier ();
+    ]
+
+let verify_func ~name_tag =
+  func "verify" ~params:[ "niter" ]
+    [
+      decl "residual" (v "niter" +: i name_tag);
+      allreduce ~target:"residual" ~op:Ast.Rsum (v "residual");
+      decl "xce" (v "residual" *: i 2);
+      reduce ~target:"xce" ~op:Ast.Rmax ~root:(i 0) (v "xce");
+      if_
+        (rank ==: i 0)
+        [ print (v "residual") ]
+        [];
+      barrier ();
+    ]
+
+(* The common main: setup, time-step loop, verification. *)
+let main_func ~iters ~solves =
+  let adi_calls = List.map (fun s -> call s [ v "nx" ]) solves in
+  func "main" ~params:[]
+    [
+      decl "nx" (i 16);
+      call "initialize" [];
+      for_ "step" (i 0) (i iters)
+        ([
+           call "exch_qbc" [ v "step" ];
+         ]
+        @ adi_calls
+        @ [
+            call "add" [ v "step" ];
+            (* Periodic residual norm, as in the reference codes: the
+               collective under the step conditional is what the phase-3
+               analysis flags (and the CC checks then validate). *)
+            if_
+              (v "step" %: i 2 ==: i 0)
+              [
+                decl "rnorm" (v "step" +: i 1);
+                allreduce ~target:"rnorm" ~op:Ast.Rsum (v "rnorm");
+                if_ (rank ==: i 0) [ print (v "rnorm") ] [];
+              ]
+              [];
+          ]);
+      call "verify" [ i iters ];
+    ]
+
+let add_func ~stages =
+  func "add" ~params:[ "step" ]
+    [
+      parallel
+        [ kernel_loop ~index:"k" ~bound:(i 8) ~stages ~cost:2 ];
+    ]
+
+(** BT-MZ: block-tridiagonal solver, three directional sweeps per step. *)
+let bt_mz ?(clazz = B) () =
+  let s = scale clazz in
+  let stages = 3 * s and zones = 4 * s in
+  Builder.number_lines
+    (program
+       [
+         main_func ~iters:(2 * s) ~solves:[ "x_solve"; "y_solve"; "z_solve" ];
+         initialize_func ~zones ~stages;
+         exch_qbc_func ~zones;
+         solve_func ~name:"x_solve" ~stages ~cost:6;
+         solve_func ~name:"y_solve" ~stages ~cost:6;
+         solve_func ~name:"z_solve" ~stages ~cost:6;
+         add_func ~stages;
+         verify_func ~name_tag:1;
+       ])
+
+(** SP-MZ: scalar-pentadiagonal solver; same phase structure as BT-MZ with
+    an extra [txinvr]-style pre-factorisation pass. *)
+let sp_mz ?(clazz = B) () =
+  let s = scale clazz in
+  let stages = 2 * s and zones = 4 * s in
+  Builder.number_lines
+    (program
+       [
+         main_func ~iters:(2 * s)
+           ~solves:[ "txinvr"; "x_solve"; "y_solve"; "z_solve" ];
+         initialize_func ~zones ~stages;
+         exch_qbc_func ~zones;
+         solve_func ~name:"txinvr" ~stages ~cost:3;
+         solve_func ~name:"x_solve" ~stages ~cost:5;
+         solve_func ~name:"y_solve" ~stages ~cost:5;
+         solve_func ~name:"z_solve" ~stages ~cost:5;
+         add_func ~stages;
+         verify_func ~name_tag:2;
+       ])
+
+(* LU's SSOR uses a pipelined sweep: threads synchronise with explicit
+   barriers between the lower and upper triangular solves. *)
+let ssor_func ~stages =
+  func "ssor" ~params:[ "nx" ]
+    [
+      parallel
+        [
+          kernel_loop ~index:"lo" ~bound:(v "nx") ~stages ~cost:7;
+          omp_barrier;
+          kernel_loop ~index:"up" ~bound:(v "nx") ~stages ~cost:7;
+          omp_barrier;
+          single [ compute (i 2) ];
+        ];
+    ]
+
+let rhs_func ~stages =
+  func "rhs" ~params:[ "nx" ]
+    [ parallel [ kernel_loop ~index:"r" ~bound:(v "nx") ~stages ~cost:4 ] ]
+
+(** LU-MZ: SSOR solver with pipelined lower/upper sweeps. *)
+let lu_mz ?(clazz = B) () =
+  let s = scale clazz in
+  let stages = 3 * s and zones = 4 * s in
+  Builder.number_lines
+    (program
+       [
+         main_func ~iters:(2 * s) ~solves:[ "rhs"; "ssor" ];
+         initialize_func ~zones ~stages;
+         exch_qbc_func ~zones;
+         rhs_func ~stages;
+         ssor_func ~stages;
+         add_func ~stages;
+         verify_func ~name_tag:3;
+       ])

@@ -1,0 +1,19 @@
+(** Synthetic skeletons of the NAS Parallel Benchmarks Multi-Zone suite
+    (NPB-MZ v3.2): function decomposition, time-step loop, boundary
+    exchange, threaded per-zone solves and the setup/verification
+    collectives of the reference codes, with numeric kernels replaced by
+    [compute] work. *)
+
+(** Problem-class scaling of the skeleton size. *)
+type clazz = S | A | B | C
+
+val scale : clazz -> int
+
+(** BT-MZ: block-tridiagonal solver, three directional sweeps per step. *)
+val bt_mz : ?clazz:clazz -> unit -> Minilang.Ast.program
+
+(** SP-MZ: scalar-pentadiagonal solver with a pre-factorisation pass. *)
+val sp_mz : ?clazz:clazz -> unit -> Minilang.Ast.program
+
+(** LU-MZ: SSOR solver with pipelined lower/upper sweeps. *)
+val lu_mz : ?clazz:clazz -> unit -> Minilang.Ast.program

@@ -1,0 +1,1 @@
+lib/cfg/build.ml: Ast Graph List Minilang

@@ -1,0 +1,1 @@
+lib/cfg/build.mli: Graph Minilang

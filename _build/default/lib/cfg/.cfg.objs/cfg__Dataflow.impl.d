@@ -1,0 +1,1 @@
+lib/cfg/dataflow.ml: Array Graph Int List Map Minilang Option Queue Set Stdlib String Traversal

@@ -1,0 +1,1 @@
+lib/cfg/dataflow.mli: Graph Map Minilang Set

@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Buffer Graph List Printf String

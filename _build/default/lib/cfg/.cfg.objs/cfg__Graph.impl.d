@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Array Ast Fmt List Loc Minilang Pretty Printf

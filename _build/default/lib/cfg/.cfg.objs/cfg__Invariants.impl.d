@@ -1,0 +1,1 @@
+lib/cfg/invariants.ml: Array Graph List Printf Traversal

@@ -1,0 +1,1 @@
+lib/cfg/invariants.mli: Graph

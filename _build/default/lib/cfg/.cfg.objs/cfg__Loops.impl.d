@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Dominance Graph Hashtbl Int List Option

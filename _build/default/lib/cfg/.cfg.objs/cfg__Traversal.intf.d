@@ -1,0 +1,1 @@
+lib/cfg/traversal.mli: Graph

@@ -1,0 +1,9 @@
+(** Lowering of mini-language functions to control-flow graphs: basic
+    blocks for straight-line code, dedicated nodes for collectives and
+    OpenMP directives, implicit-barrier nodes at region ends (unless
+    [nowait]); dead code after [return] is dropped. *)
+
+val of_func : Minilang.Ast.func -> Graph.t
+
+(** CFGs of every function, in source order. *)
+val of_program : Minilang.Ast.program -> Graph.t list

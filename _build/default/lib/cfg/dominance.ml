@@ -1,0 +1,146 @@
+(** Dominator trees and dominance frontiers, in both directions.
+
+    Uses the Cooper–Harvey–Kennedy "engineered" iterative algorithm on
+    reverse postorder.  A single implementation is parameterised by
+    direction: post-dominance is dominance on the edge-reversed graph rooted
+    at the exit node.  The inter-process phase of PARCOACH (Algorithm 1 of
+    the IJHPCA'14 paper) relies on the {e iterated post-dominance frontier}
+    [PDF+] computed here. *)
+
+open Graph
+
+type direction = Forward | Backward
+
+type t = {
+  g : Graph.t;
+  dir : direction;
+  root : int;
+  idom : int array;  (** Immediate dominator; [root] maps to itself,
+                         unreachable nodes map to [-1]. *)
+  order_index : int array;  (** Position in reverse postorder; [-1] if
+                                unreachable. *)
+}
+
+let next_of dir =
+  match dir with Forward -> succs | Backward -> preds
+
+let prev_of dir =
+  match dir with Forward -> preds | Backward -> succs
+
+(** Compute the (post-)dominator tree.  [Forward] computes dominators from
+    the entry; [Backward] computes post-dominators from the exit. *)
+let compute g dir =
+  let root = match dir with Forward -> g.entry | Backward -> g.exit in
+  let next = next_of dir and prev = prev_of dir in
+  let rpo = List.rev (Traversal.postorder g ~root ~next) in
+  let n = nb_nodes g in
+  let order_index = Array.make n (-1) in
+  List.iteri (fun i id -> order_index.(id) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(root) <- root;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while order_index.(!a) > order_index.(!b) do
+        a := idom.(!a)
+      done;
+      while order_index.(!b) > order_index.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        if id <> root then begin
+          let processed_preds =
+            List.filter (fun p -> idom.(p) >= 0) (prev g id)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(id) <> new_idom then begin
+                idom.(id) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { g; dir; root; idom; order_index }
+
+let idom t id = if id = t.root then None else
+  match t.idom.(id) with -1 -> None | d -> Some d
+
+let is_reachable t id = t.idom.(id) >= 0
+
+(** [dominates t a b]: does [a] (post-)dominate [b]?  Reflexive. *)
+let dominates t a b =
+  if not (is_reachable t b) then false
+  else
+    let rec up x = x = a || (x <> t.root && up t.idom.(x)) in
+    up b
+
+(** Dominance frontier of each node (Cytron et al.).  For [Backward] this
+    is the post-dominance frontier: the branch nodes at which control can
+    avoid the given node. *)
+let frontiers t =
+  let g = t.g in
+  let n = nb_nodes g in
+  let df = Array.make n [] in
+  let prev = prev_of t.dir in
+  for id = 0 to n - 1 do
+    if is_reachable t id then begin
+      let ps = List.filter (fun p -> is_reachable t p) (prev g id) in
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            let runner = ref p in
+            while !runner <> t.idom.(id) do
+              if not (List.mem id df.(!runner)) then
+                df.(!runner) <- id :: df.(!runner);
+              runner := t.idom.(!runner)
+            done)
+          ps
+    end
+  done;
+  df
+
+(** Iterated dominance frontier [DF+] of a node set: least fixpoint of
+    [X ↦ DF(S ∪ X)].  With [Backward], this is the [PDF+] used by
+    PARCOACH's inter-process verification. *)
+let iterated_frontier t df set =
+  let result = Hashtbl.create 16 in
+  let worklist = Queue.create () in
+  List.iter (fun id -> Queue.add id worklist) set;
+  while not (Queue.is_empty worklist) do
+    let id = Queue.pop worklist in
+    if is_reachable t id then
+      List.iter
+        (fun f ->
+          if not (Hashtbl.mem result f) then begin
+            Hashtbl.replace result f ();
+            Queue.add f worklist
+          end)
+        df.(id)
+  done;
+  List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) result [])
+
+(** Convenience: the iterated post-dominance frontier of [set]. *)
+let pdf_plus g set =
+  let t = compute g Backward in
+  let df = frontiers t in
+  iterated_frontier t df set
+
+(** Children lists of the dominator tree. *)
+let children t =
+  let n = nb_nodes t.g in
+  let ch = Array.make n [] in
+  for id = 0 to n - 1 do
+    if id <> t.root && t.idom.(id) >= 0 then
+      ch.(t.idom.(id)) <- id :: ch.(t.idom.(id))
+  done;
+  ch

@@ -1,0 +1,179 @@
+(** Control-flow graphs for mini-language functions.
+
+    As in the paper, OpenMP directives occupy their own nodes ([Omp_begin]/
+    [Omp_end]) and implicit thread barriers get dedicated [Barrier_node]s,
+    so the parallelism-word computation can treat them uniformly.  MPI
+    collective calls are highlighted in their own [Collective] nodes.
+
+    Region identifiers are the node ids of the [Omp_begin] nodes, matching
+    the paper's "[P_i], with [i] the id of the node with the OpenMP
+    construct". *)
+
+type region_kind =
+  | Rparallel
+  | Rsingle of { nowait : bool }
+  | Rmaster
+  | Rcritical of string option
+  | Rfor of { nowait : bool }
+  | Rsections of { nowait : bool }
+  | Rsection  (** One branch of a [sections] construct. *)
+
+let region_kind_name = function
+  | Rparallel -> "parallel"
+  | Rsingle _ -> "single"
+  | Rmaster -> "master"
+  | Rcritical _ -> "critical"
+  | Rfor _ -> "for"
+  | Rsections _ -> "sections"
+  | Rsection -> "section"
+
+type kind =
+  | Entry
+  | Exit
+  | Simple of Minilang.Ast.stmt list
+      (** Straight-line statements: declarations, assignments, [compute],
+          [print]. *)
+  | Cond of { expr : Minilang.Ast.expr; stmt : Minilang.Ast.stmt }
+      (** Two successors, in order: the true branch then the false branch. *)
+  | Collective of {
+      target : string option;
+      coll : Minilang.Ast.collective;
+      stmt : Minilang.Ast.stmt;
+    }
+  | Call_site of {
+      fname : string;
+      args : Minilang.Ast.expr list;
+      stmt : Minilang.Ast.stmt;
+    }
+  | Return_site of { stmt : Minilang.Ast.stmt }
+  | Omp_begin of { kind : region_kind; stmt : Minilang.Ast.stmt }
+  | Omp_end of { kind : region_kind; region : int; stmt : Minilang.Ast.stmt }
+      (** [region] is the id of the matching [Omp_begin] node. *)
+  | Barrier_node of { implicit : bool; loc : Minilang.Loc.t }
+  | Check_site of { check : Minilang.Ast.check; stmt : Minilang.Ast.stmt }
+
+type node = {
+  id : int;
+  kind : kind;
+  mutable succs : int list;  (** Successor ids, order significant for [Cond]. *)
+  mutable preds : int list;
+}
+
+type t = {
+  fname : string;
+  mutable nodes : node array;
+  mutable count : int;
+  entry : int;
+  exit : int;
+}
+
+let entry_id = 0
+
+let exit_id = 1
+
+let nb_nodes g = g.count
+
+let node g id =
+  if id < 0 || id >= g.count then invalid_arg "Graph.node: bad id";
+  g.nodes.(id)
+
+let kind g id = (node g id).kind
+
+let succs g id = (node g id).succs
+
+let preds g id = (node g id).preds
+
+(** Iterate over all node ids in increasing order. *)
+let iter_nodes g f =
+  for id = 0 to g.count - 1 do
+    f g.nodes.(id)
+  done
+
+let fold_nodes g f acc =
+  let acc = ref acc in
+  iter_nodes g (fun n -> acc := f !acc n);
+  !acc
+
+(** All node ids whose kind satisfies [p]. *)
+let filter_nodes g p =
+  List.rev
+    (fold_nodes g (fun acc n -> if p n.kind then n.id :: acc else acc) [])
+
+let dummy_node = { id = -1; kind = Entry; succs = []; preds = [] }
+
+let create fname =
+  let g =
+    { fname; nodes = Array.make 16 dummy_node; count = 0; entry = 0; exit = 1 }
+  in
+  g
+
+let add_node g kind =
+  if g.count = Array.length g.nodes then begin
+    let bigger = Array.make (2 * g.count) dummy_node in
+    Array.blit g.nodes 0 bigger 0 g.count;
+    g.nodes <- bigger
+  end;
+  let n = { id = g.count; kind; succs = []; preds = [] } in
+  g.nodes.(g.count) <- n;
+  g.count <- g.count + 1;
+  n.id
+
+let add_edge g a b =
+  let na = node g a and nb = node g b in
+  na.succs <- na.succs @ [ b ];
+  nb.preds <- nb.preds @ [ a ]
+
+let has_edge g a b = List.mem b (succs g a)
+
+(** Source location a node can be reported at. *)
+let node_loc g id =
+  let open Minilang in
+  match kind g id with
+  | Entry | Exit -> Loc.none
+  | Simple [] -> Loc.none
+  | Simple (s :: _) -> s.Ast.sloc
+  | Cond { stmt; _ }
+  | Collective { stmt; _ }
+  | Call_site { stmt; _ }
+  | Return_site { stmt }
+  | Omp_begin { stmt; _ }
+  | Omp_end { stmt; _ }
+  | Check_site { stmt; _ } ->
+      stmt.Ast.sloc
+  | Barrier_node { loc; _ } -> loc
+
+let kind_label g id =
+  let open Minilang in
+  match kind g id with
+  | Entry -> "entry"
+  | Exit -> "exit"
+  | Simple stmts -> Printf.sprintf "simple[%d]" (List.length stmts)
+  | Cond { expr; _ } -> Printf.sprintf "cond(%s)" (Pretty.expr_to_string expr)
+  | Collective { coll; _ } -> Ast.collective_name coll
+  | Call_site { fname; _ } -> Printf.sprintf "call %s" fname
+  | Return_site _ -> "return"
+  | Omp_begin { kind; _ } ->
+      Printf.sprintf "omp %s begin" (region_kind_name kind)
+  | Omp_end { kind; region; _ } ->
+      Printf.sprintf "omp %s end (r%d)" (region_kind_name kind) region
+  | Barrier_node { implicit; _ } ->
+      if implicit then "barrier (implicit)" else "barrier"
+  | Check_site { check; _ } ->
+      Fmt.str "check %a" Pretty.pp_check check
+
+(** Collective nodes of the graph, in id order. *)
+let collective_nodes g =
+  filter_nodes g (function Collective _ -> true | _ -> false)
+
+(** Ids of [Omp_begin] nodes, i.e. the region identifiers. *)
+let region_begin_nodes g =
+  filter_nodes g (function Omp_begin _ -> true | _ -> false)
+
+(** The [Omp_end] node matching region [r], if the region is well-formed. *)
+let region_end_node g r =
+  let found =
+    filter_nodes g (function
+      | Omp_end { region; _ } -> region = r
+      | _ -> false)
+  in
+  match found with [ e ] -> Some e | _ -> None

@@ -1,0 +1,100 @@
+(** Control-flow graphs for mini-language functions.  OpenMP directives
+    occupy their own [Omp_begin]/[Omp_end] nodes and implicit thread
+    barriers get dedicated [Barrier_node]s (as in the paper's front end);
+    MPI collectives are isolated in [Collective] nodes.  Region
+    identifiers are the node ids of the [Omp_begin] nodes. *)
+
+type region_kind =
+  | Rparallel
+  | Rsingle of { nowait : bool }
+  | Rmaster
+  | Rcritical of string option
+  | Rfor of { nowait : bool }
+  | Rsections of { nowait : bool }
+  | Rsection  (** One branch of a [sections] construct. *)
+
+val region_kind_name : region_kind -> string
+
+type kind =
+  | Entry
+  | Exit
+  | Simple of Minilang.Ast.stmt list
+      (** Straight-line statements (decls, assignments, compute, print). *)
+  | Cond of { expr : Minilang.Ast.expr; stmt : Minilang.Ast.stmt }
+      (** Two successors, in order: true branch then false branch. *)
+  | Collective of {
+      target : string option;
+      coll : Minilang.Ast.collective;
+      stmt : Minilang.Ast.stmt;
+    }
+  | Call_site of {
+      fname : string;
+      args : Minilang.Ast.expr list;
+      stmt : Minilang.Ast.stmt;
+    }
+  | Return_site of { stmt : Minilang.Ast.stmt }
+  | Omp_begin of { kind : region_kind; stmt : Minilang.Ast.stmt }
+  | Omp_end of { kind : region_kind; region : int; stmt : Minilang.Ast.stmt }
+      (** [region] is the id of the matching [Omp_begin] node. *)
+  | Barrier_node of { implicit : bool; loc : Minilang.Loc.t }
+  | Check_site of { check : Minilang.Ast.check; stmt : Minilang.Ast.stmt }
+
+type node = {
+  id : int;
+  kind : kind;
+  mutable succs : int list;  (** Order significant for [Cond]. *)
+  mutable preds : int list;
+}
+
+type t = {
+  fname : string;
+  mutable nodes : node array;
+  mutable count : int;
+  entry : int;
+  exit : int;
+}
+
+val entry_id : int
+
+val exit_id : int
+
+val nb_nodes : t -> int
+
+(** @raise Invalid_argument on a bad id. *)
+val node : t -> int -> node
+
+val kind : t -> int -> kind
+
+val succs : t -> int -> int list
+
+val preds : t -> int -> int list
+
+val iter_nodes : t -> (node -> unit) -> unit
+
+val fold_nodes : t -> ('a -> node -> 'a) -> 'a -> 'a
+
+(** Node ids whose kind satisfies the predicate, in id order. *)
+val filter_nodes : t -> (kind -> bool) -> int list
+
+val create : string -> t
+
+val add_node : t -> kind -> int
+
+val add_edge : t -> int -> int -> unit
+
+val has_edge : t -> int -> int -> bool
+
+(** Source location a node can be reported at. *)
+val node_loc : t -> int -> Minilang.Loc.t
+
+(** Short label for DOT dumps and debugging. *)
+val kind_label : t -> int -> string
+
+(** Collective nodes, in id order. *)
+val collective_nodes : t -> int list
+
+(** [Omp_begin] node ids, i.e. the region identifiers. *)
+val region_begin_nodes : t -> int list
+
+(** The [Omp_end] matching region [r], if well-formed. *)
+val region_end_node : t -> int -> int option

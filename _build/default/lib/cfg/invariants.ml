@@ -1,0 +1,72 @@
+(** Structural invariants of well-formed CFGs, used by the test suite
+    (including on randomly generated programs) to guard the graph
+    construction and every pass that consumes it. *)
+
+open Graph
+
+(** All violated invariants of [g], as human-readable strings (empty for a
+    well-formed graph):
+    - successor/predecessor lists are symmetric;
+    - the entry has no predecessors, the exit no successors;
+    - [Cond] nodes have exactly two successors, non-branching interior
+      nodes exactly one;
+    - every [Omp_end] names an [Omp_begin] of the same region kind;
+    - regions are balanced: each tokenful begin has exactly one end;
+    - every reachable node can reach the exit. *)
+let check g =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  iter_nodes g (fun n ->
+      List.iter
+        (fun s ->
+          if not (List.mem n.id (preds g s)) then
+            add "edge %d->%d missing from preds" n.id s)
+        n.succs;
+      List.iter
+        (fun p ->
+          if not (List.mem n.id (succs g p)) then
+            add "edge %d->%d missing from succs" p n.id)
+        n.preds);
+  if preds g g.entry <> [] then add "entry has predecessors";
+  if succs g g.exit <> [] then add "exit has successors";
+  let reach = Traversal.reachable g in
+  iter_nodes g (fun n ->
+      if reach.(n.id) then begin
+        (match n.kind with
+        | Cond _ ->
+            if List.length n.succs <> 2 then
+              add "cond %d has %d successors" n.id (List.length n.succs)
+        | Exit -> ()
+        | Omp_begin { kind = Rsections _; _ } ->
+            if n.succs = [] then add "sections dispatch %d has no successors" n.id
+        | Entry | Simple _ | Collective _ | Call_site _ | Return_site _
+        | Omp_begin _ | Omp_end _ | Barrier_node _ | Check_site _ ->
+            if List.length n.succs <> 1 then
+              add "interior node %d has %d successors" n.id (List.length n.succs));
+        if n.id <> g.exit && not (Traversal.path_exists g n.id g.exit) then
+          add "node %d cannot reach the exit" n.id
+      end);
+  iter_nodes g (fun n ->
+      match n.kind with
+      | Omp_end { region; kind; _ } -> (
+          match Graph.kind g region with
+          | Omp_begin { kind = bkind; _ } ->
+              if region_kind_name bkind <> region_kind_name kind then
+                add "omp_end %d kind mismatch with begin %d" n.id region
+          | _ -> add "omp_end %d region %d is not a begin" n.id region)
+      | _ -> ());
+  (* Region balance: one end per begin. *)
+  iter_nodes g (fun n ->
+      match n.kind with
+      | Omp_begin _ ->
+          let ends =
+            filter_nodes g (function
+              | Omp_end { region; _ } -> region = n.id
+              | _ -> false)
+          in
+          if List.length ends <> 1 then
+            add "begin %d has %d matching ends" n.id (List.length ends)
+      | _ -> ());
+  List.rev !violations
+
+let is_well_formed g = check g = []

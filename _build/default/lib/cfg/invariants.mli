@@ -1,0 +1,8 @@
+(** Structural invariants of well-formed CFGs (edge symmetry, arity of
+    branch/interior nodes, matched and balanced OpenMP regions, exit
+    reachability), for the test suite. *)
+
+(** Violated invariants as human-readable strings; empty if well-formed. *)
+val check : Graph.t -> string list
+
+val is_well_formed : Graph.t -> bool

@@ -1,0 +1,69 @@
+(** Graph traversals and orderings over {!Graph.t}. *)
+
+open Graph
+
+(** Depth-first postorder of the nodes reachable from [root], following
+    [next] (successors for a forward traversal, predecessors for a backward
+    one). *)
+let postorder g ~root ~next =
+  let seen = Array.make (nb_nodes g) false in
+  let order = ref [] in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter visit (next g id);
+      order := id :: !order
+    end
+  in
+  visit root;
+  List.rev !order
+
+(** Reverse postorder from the entry node, following successors. *)
+let reverse_postorder g =
+  List.rev (postorder g ~root:g.entry ~next:succs)
+
+(** Nodes reachable from the entry. *)
+let reachable g =
+  let seen = Array.make (nb_nodes g) false in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter visit (succs g id)
+    end
+  in
+  visit g.entry;
+  seen
+
+(** Breadth-first distance (edge count) from the entry; [-1] if
+    unreachable. *)
+let bfs_distance g =
+  let dist = Array.make (nb_nodes g) (-1) in
+  let q = Queue.create () in
+  dist.(g.entry) <- 0;
+  Queue.add g.entry q;
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    List.iter
+      (fun s ->
+        if dist.(s) < 0 then begin
+          dist.(s) <- dist.(id) + 1;
+          Queue.add s q
+        end)
+      (succs g id)
+  done;
+  dist
+
+(** [path_exists g a b] tests reachability of [b] from [a] along
+    successor edges. *)
+let path_exists g a b =
+  let seen = Array.make (nb_nodes g) false in
+  let rec visit id =
+    id = b
+    || (not seen.(id))
+       && begin
+            seen.(id) <- true;
+            List.exists visit (succs g id)
+          end
+  in
+  (* [visit] short-circuits on [b] before marking. *)
+  visit a

@@ -1,0 +1,17 @@
+(** Graph traversals and orderings over {!Graph.t}. *)
+
+(** Depth-first postorder of the nodes reachable from [root] along
+    [next]. *)
+val postorder :
+  Graph.t -> root:int -> next:(Graph.t -> int -> int list) -> int list
+
+(** Reverse postorder from the entry, following successors. *)
+val reverse_postorder : Graph.t -> int list
+
+(** Reachability from the entry, indexed by node id. *)
+val reachable : Graph.t -> bool array
+
+(** BFS edge distance from the entry; [-1] if unreachable. *)
+val bfs_distance : Graph.t -> int array
+
+val path_exists : Graph.t -> int -> int -> bool

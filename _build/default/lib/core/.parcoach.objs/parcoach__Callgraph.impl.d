@@ -1,0 +1,1 @@
+lib/core/callgraph.ml: Ast Hashtbl List Minilang Option String

@@ -1,0 +1,1 @@
+lib/core/concurrency.ml: Cfg Graph Hashtbl Int List Minilang Option Pword Warning

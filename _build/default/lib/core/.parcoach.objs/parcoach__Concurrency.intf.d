@@ -1,0 +1,1 @@
+lib/core/concurrency.mli: Cfg Pword Warning

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Ast Callgraph Cfg Concurrency Fmt Hashtbl Interproc List Minilang Monothread Mpisim Option Pword Stdlib String Warning

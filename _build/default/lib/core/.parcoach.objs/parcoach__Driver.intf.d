@@ -1,0 +1,1 @@
+lib/core/driver.mli: Cfg Concurrency Fmt Interproc Minilang Monothread Mpisim Pword Warning

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Ast Callgraph Cfg Concurrency Driver List Minilang Monothread Option String

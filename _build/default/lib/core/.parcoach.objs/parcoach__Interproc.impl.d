@@ -1,0 +1,1 @@
+lib/core/interproc.ml: Array Callgraph Cfg Dataflow Dominance Graph Hashtbl Int List Minilang Option String Traversal Warning

@@ -1,0 +1,1 @@
+lib/core/interproc.mli: Cfg Warning

@@ -1,0 +1,1 @@
+lib/core/json_report.ml: Buffer Cfg Char Concurrency Driver List Loc Minilang Monothread Mpisim Printf Pword String Warning

@@ -1,0 +1,1 @@
+lib/core/json_report.mli: Driver Warning

@@ -1,0 +1,1 @@
+lib/core/monothread.ml: Cfg Graph Int List Minilang Mpisim Option Pword Warning

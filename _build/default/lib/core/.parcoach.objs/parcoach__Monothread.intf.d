@@ -1,0 +1,1 @@
+lib/core/monothread.mli: Cfg Mpisim Pword Warning

@@ -1,0 +1,1 @@
+lib/core/pword.ml: Array Cfg Fmt Graph Hashtbl Int List Mpisim Printf Queue String Traversal

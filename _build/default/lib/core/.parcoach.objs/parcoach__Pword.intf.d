@@ -1,0 +1,1 @@
+lib/core/pword.mli: Cfg Fmt Mpisim

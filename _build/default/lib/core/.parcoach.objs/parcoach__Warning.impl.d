@@ -1,0 +1,1 @@
+lib/core/warning.ml: Fmt Loc Minilang Mpisim Pword String

@@ -1,0 +1,1 @@
+lib/core/warning.mli: Fmt Minilang Mpisim Pword

@@ -1,0 +1,69 @@
+(** Call-graph summaries for the interprocedural extension.
+
+    The paper's phases are intra-procedural: a rank-dependent branch
+    around a {e call} to a function that performs collectives escapes
+    phase 3.  The extension computes, bottom-up over the call graph, which
+    functions may (transitively) execute a collective, and lets phase 3
+    treat calls to such functions as pseudo-collective sites — each with a
+    stable "call colour" so the dynamic CC agreement can also cover them. *)
+
+open Minilang
+
+(** Direct callees of a function body, in source order (duplicates kept). *)
+let callees (f : Ast.func) =
+  List.rev
+    (Ast.fold_stmts
+       (fun acc s ->
+         match s.Ast.sdesc with Ast.Call (g, _) -> g :: acc | _ -> acc)
+       [] f.Ast.body)
+
+let has_direct_collective (f : Ast.func) =
+  Ast.fold_stmts
+    (fun acc s -> acc || match s.Ast.sdesc with Ast.Coll _ -> true | _ -> false)
+    false f.Ast.body
+
+(** [may_collect program] maps each function name to [true] iff it may
+    execute an MPI collective, directly or through calls (recursion is
+    handled by the fixpoint; unknown callees are ignored — the validator
+    rejects them anyway). *)
+let may_collect (program : Ast.program) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace tbl f.Ast.fname (has_direct_collective f))
+    program.Ast.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        if not (Hashtbl.find tbl f.Ast.fname) then
+          let collects =
+            List.exists
+              (fun g -> Option.value ~default:false (Hashtbl.find_opt tbl g))
+              (callees f)
+          in
+          if collects then begin
+            Hashtbl.replace tbl f.Ast.fname true;
+            changed := true
+          end)
+      program.Ast.funcs
+  done;
+  fun fname -> Option.value ~default:false (Hashtbl.find_opt tbl fname)
+
+(* Call colours start above the collective colours (1..10) and 0
+   (cc_return); assignment is by sorted function name, so every process
+   of an SPMD run derives the same colours. *)
+let call_color_base = 16
+
+(** Stable CC colour per collective-bearing function. *)
+let call_colors (program : Ast.program) =
+  let collects = may_collect program in
+  let names =
+    List.filter collects
+      (List.sort String.compare
+         (List.map (fun f -> f.Ast.fname) program.Ast.funcs))
+  in
+  List.mapi (fun i name -> (name, call_color_base + i)) names
+
+(** Printable pseudo-collective name of a call site. *)
+let call_site_name fname = "call:" ^ fname

@@ -1,0 +1,21 @@
+(** Call-graph summaries for the interprocedural extension: which
+    functions may (transitively) execute an MPI collective, and stable CC
+    colours for calls to them. *)
+
+(** Direct callees of a function body, in source order. *)
+val callees : Minilang.Ast.func -> string list
+
+val has_direct_collective : Minilang.Ast.func -> bool
+
+(** [may_collect p fname]: may [fname] execute a collective, directly or
+    through calls (fixpoint over the call graph)? *)
+val may_collect : Minilang.Ast.program -> string -> bool
+
+(** First call colour; collective colours and [cc_return] live below. *)
+val call_color_base : int
+
+(** Stable (sorted-by-name) CC colour per collective-bearing function. *)
+val call_colors : Minilang.Ast.program -> (string * int) list
+
+(** Pseudo-collective name of a call site: ["call:<fname>"]. *)
+val call_site_name : string -> string

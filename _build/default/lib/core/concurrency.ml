@@ -1,0 +1,120 @@
+(** Phase 2 of the static analysis: sequential ordering of collective
+    executions within a process.
+
+    Different MPI collectives can each be in a monothreaded region and
+    still execute simultaneously if those regions run in parallel (two
+    [single] regions with [nowait], a [master] and a later [single], two
+    [section]s, ...).  Two nodes are in {e concurrent monothreaded regions}
+    when their parallelism words decompose as [w·S_j·u] / [w·S_k·v] with
+    [j ≠ k] and equal barrier counts (see {!Pword.concurrent}).
+
+    The phase reports every concurrent pair of collective nodes, and
+    collects in [Scc] the region-begin nodes where runtime
+    thread-counting checks must be anchored. *)
+
+open Cfg
+
+type pair = {
+  node1 : int;
+  node2 : int;
+  region1 : int;
+  region2 : int;  (** The distinct single-threaded regions [S_j]/[S_k]. *)
+}
+
+type result = {
+  pairs : pair list;
+  s_cc : int list;  (** Collective nodes involved in some pair. *)
+  scc_regions : int list;  (** The set [Scc]: region-begin nodes. *)
+}
+
+let analyze (pw : Pword.t) =
+  let g = pw.Pword.graph in
+  let collectives =
+    List.filter_map
+      (fun node ->
+        match Pword.pw_opt pw node with
+        | Some word when Pword.monothreaded word -> Some (node, word)
+        | Some _ | None -> None)
+      (Graph.collective_nodes g)
+  in
+  let pairs = ref [] in
+  let rec all_pairs = function
+    | [] -> ()
+    | (n1, w1) :: rest ->
+        List.iter
+          (fun (n2, w2) ->
+            if Pword.concurrent w1 w2 then
+              match Pword.concurrent_region_pair w1 w2 with
+              | Some (r1, r2) ->
+                  pairs :=
+                    { node1 = n1; node2 = n2; region1 = r1; region2 = r2 }
+                    :: !pairs
+              | None -> ())
+          rest;
+        all_pairs rest
+  in
+  all_pairs collectives;
+  let pairs = List.rev !pairs in
+  let s_cc =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun p -> [ p.node1; p.node2 ]) pairs)
+  in
+  let scc_regions =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun p -> [ p.region1; p.region2 ]) pairs)
+  in
+  { pairs; s_cc; scc_regions }
+
+let warnings g ~fname result =
+  let coll_name node =
+    match Graph.kind g node with
+    | Graph.Collective { coll; _ } -> Minilang.Ast.collective_name coll
+    | _ -> assert false
+  in
+  List.map
+    (fun p ->
+      let loc1 = Graph.node_loc g p.node1
+      and loc2 = Graph.node_loc g p.node2 in
+      {
+        Warning.kind =
+          Warning.Concurrent_collectives
+            {
+              coll1 = coll_name p.node1;
+              loc1;
+              coll2 = coll_name p.node2;
+              loc2;
+              region1 = p.region1;
+              region2 = p.region2;
+            };
+        func = fname;
+        loc = loc1;
+      })
+    result.pairs
+
+(** Partition the involved collective nodes into groups that share a
+    runtime concurrency counter: connected components of the pair
+    relation.  Each group gets the smallest member id as counter id. *)
+let counter_groups result =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some -1 -> x
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace parent x r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent (max ra rb) (min ra rb)
+  in
+  List.iter (fun p -> union p.node1 p.node2) result.pairs;
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let r = find n in
+      let members = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+      Hashtbl.replace groups r (n :: members))
+    result.s_cc;
+  Hashtbl.fold (fun root members acc -> (root, List.sort Int.compare members) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,24 @@
+(** Phase 2: detection of collectives in concurrent monothreaded regions
+    (two [single]s with [nowait], [master] then [single], two [section]s,
+    ...), which may execute simultaneously within one process. *)
+
+type pair = {
+  node1 : int;
+  node2 : int;  (** The two collective nodes. *)
+  region1 : int;
+  region2 : int;  (** Their distinct single-threaded regions. *)
+}
+
+type result = {
+  pairs : pair list;
+  s_cc : int list;  (** Collective nodes involved in some pair. *)
+  scc_regions : int list;  (** The set [Scc] of region-begin nodes. *)
+}
+
+val analyze : Pword.t -> result
+
+val warnings : Cfg.Graph.t -> fname:string -> result -> Warning.t list
+
+(** Connected components of the pair relation: each group shares one
+    runtime concurrency counter, keyed by its smallest member id. *)
+val counter_groups : result -> (int * int list) list

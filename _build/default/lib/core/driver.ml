@@ -1,0 +1,152 @@
+(** Whole-program driver: runs the three static phases on every function
+    and assembles the analysis report the instrumentation pass and the CLI
+    consume. *)
+
+open Minilang
+
+type options = {
+  initial_word : Pword.word;
+      (** Initial parallelism-word prefix at function entrances (the
+          paper's compile-time "initial level" option). *)
+  provided_level : Mpisim.Thread_level.t;
+      (** Thread level the program is assumed to initialise MPI with. *)
+  taint_filter : bool;
+      (** Restrict phase 3 to rank-dependent conditionals. *)
+  interprocedural : bool;
+      (** Extension: treat calls to collective-bearing functions as
+          pseudo-collective sites in phase 3 (see {!Callgraph}). *)
+}
+
+let default_options =
+  {
+    initial_word = [];
+    provided_level = Mpisim.Thread_level.Multiple;
+    taint_filter = false;
+    interprocedural = false;
+  }
+
+type func_report = {
+  fname : string;
+  graph : Cfg.Graph.t;
+  pword : Pword.t;
+  phase1 : Monothread.result;
+  phase2 : Concurrency.result;
+  phase3 : Interproc.result;
+  warnings : Warning.t list;
+  cc_sites : int list;  (** Collective nodes that get a [CC] check. *)
+}
+
+type report = {
+  program : Ast.program;
+  options : options;
+  funcs : func_report list;
+  call_colors : (string * int) list;
+      (** CC colours of collective-bearing functions (interprocedural
+          mode; empty otherwise). *)
+}
+
+let analyze_func ?graph ?call_collects options (f : Ast.func) =
+  let g = match graph with Some g -> g | None -> Cfg.Build.of_func f in
+  let pword = Pword.compute ~initial:options.initial_word g in
+  let phase1 = Monothread.analyze pword in
+  let phase2 = Concurrency.analyze pword in
+  let phase3 =
+    Interproc.analyze ?call_collects g ~taint_filter:options.taint_filter
+      ~params:f.Ast.params
+  in
+  let inconsistency_warnings =
+    List.map
+      (fun (inc : Pword.inconsistency) ->
+        {
+          Warning.kind =
+            Warning.Word_inconsistency
+              { word_a = inc.Pword.word_a; word_b = inc.Pword.word_b };
+          func = f.Ast.fname;
+          loc = Cfg.Graph.node_loc g inc.Pword.node;
+        })
+      pword.Pword.inconsistencies
+  in
+  let warnings =
+    List.sort_uniq
+      (fun a b ->
+        let c = Warning.compare a b in
+        if c <> 0 then c else Stdlib.compare a b)
+      (Monothread.warnings g ~fname:f.Ast.fname
+         ~provided:options.provided_level phase1
+      @ Concurrency.warnings g ~fname:f.Ast.fname phase2
+      @ Interproc.warnings g ~fname:f.Ast.fname phase3
+      @ inconsistency_warnings)
+  in
+  {
+    fname = f.Ast.fname;
+    graph = g;
+    pword;
+    phase1;
+    phase2;
+    phase3;
+    warnings;
+    cc_sites = Interproc.cc_sites phase3;
+  }
+
+(** Run the full static analysis.  The program should already pass
+    {!Minilang.Validate}.  [graphs], when provided, must be the CFGs of the
+    program's functions in source order (as built by
+    {!Cfg.Build.of_program}): the analysis then runs in the middle of an
+    existing compilation pipeline without rebuilding them, as PARCOACH does
+    inside the compiler. *)
+let analyze ?(options = default_options) ?graphs (program : Ast.program) =
+  let call_collects =
+    if options.interprocedural then Some (Callgraph.may_collect program)
+    else None
+  in
+  let call_colors =
+    if options.interprocedural then Callgraph.call_colors program else []
+  in
+  let funcs =
+    match graphs with
+    | None ->
+        List.map (analyze_func ?call_collects options) program.Ast.funcs
+    | Some graphs ->
+        if List.length graphs <> List.length program.Ast.funcs then
+          invalid_arg "Driver.analyze: graphs do not match the program";
+        List.map2
+          (fun graph f -> analyze_func ~graph ?call_collects options f)
+          graphs program.Ast.funcs
+  in
+  { program; options; funcs; call_colors }
+
+let all_warnings report = List.concat_map (fun fr -> fr.warnings) report.funcs
+
+let warning_count report = List.length (all_warnings report)
+
+(** Number of warnings per class name, for the evaluation report. *)
+let warnings_by_class report =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      let cls = Warning.class_of w.Warning.kind in
+      Hashtbl.replace tbl cls
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl cls)))
+    (all_warnings report);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let func_report report fname =
+  List.find_opt (fun fr -> String.equal fr.fname fname) report.funcs
+
+(** Printable analysis summary: per-function warning list plus totals. *)
+let pp_report ppf report =
+  List.iter
+    (fun fr ->
+      if fr.warnings <> [] then begin
+        Fmt.pf ppf "function '%s':@\n" fr.fname;
+        List.iter (fun w -> Fmt.pf ppf "  %a@\n" Warning.pp w) fr.warnings
+      end)
+    report.funcs;
+  let by_class = warnings_by_class report in
+  Fmt.pf ppf "total: %d warning(s)" (warning_count report);
+  if by_class <> [] then
+    Fmt.pf ppf " (%a)"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (cls, n) -> Fmt.pf ppf "%s: %d" cls n))
+      by_class;
+  Fmt.pf ppf "@\n"

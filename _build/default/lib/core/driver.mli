@@ -1,0 +1,59 @@
+(** Whole-program driver: runs the three static phases on every function
+    and assembles the report consumed by {!Instrument} and the CLI. *)
+
+type options = {
+  initial_word : Pword.word;
+      (** Initial parallelism-word prefix at function entrances (the
+          paper's compile-time "initial level" option; default empty). *)
+  provided_level : Mpisim.Thread_level.t;
+      (** Level the program is assumed to initialise MPI with. *)
+  taint_filter : bool;
+      (** Restrict phase 3 to rank-dependent conditionals. *)
+  interprocedural : bool;
+      (** Extension: treat calls to collective-bearing functions as
+          pseudo-collective phase-3 sites (see {!Callgraph}). *)
+}
+
+val default_options : options
+
+type func_report = {
+  fname : string;
+  graph : Cfg.Graph.t;
+  pword : Pword.t;
+  phase1 : Monothread.result;
+  phase2 : Concurrency.result;
+  phase3 : Interproc.result;
+  warnings : Warning.t list;
+  cc_sites : int list;  (** Collective nodes that get a [CC] check. *)
+}
+
+type report = {
+  program : Minilang.Ast.program;
+  options : options;
+  funcs : func_report list;
+  call_colors : (string * int) list;
+      (** CC colours of collective-bearing functions (interprocedural
+          mode; empty otherwise). *)
+}
+
+(** Run the full static analysis on a validated program.  [graphs], when
+    given, must be the CFGs of the program's functions in source order
+    (from {!Cfg.Build.of_program}): the analysis then reuses them instead
+    of rebuilding, as PARCOACH does inside the compiler. *)
+val analyze :
+  ?options:options ->
+  ?graphs:Cfg.Graph.t list ->
+  Minilang.Ast.program ->
+  report
+
+val all_warnings : report -> Warning.t list
+
+val warning_count : report -> int
+
+(** Warning counts per class name, sorted by class. *)
+val warnings_by_class : report -> (string * int) list
+
+val func_report : report -> string -> func_report option
+
+(** Printable summary: per-function warnings plus totals. *)
+val pp_report : report Fmt.t

@@ -1,0 +1,17 @@
+(** Static instrumentation for execution-time verification (§3): inserts
+    [CC] agreement checks before the collectives of flagged functions and
+    before their returns (wrapped in [single]), and concurrency counters
+    around the phase-1/phase-2 collectives. *)
+
+(** [Selective] instruments only what the analysis flagged (the paper's
+    selective instrumentation); [Exhaustive] checks every collective and
+    every return — the Marmot/MUST-style dynamic-only baseline. *)
+type mode = Selective | Exhaustive
+
+(** Rewrite the analysed program with verification code.
+    @raise Invalid_argument if the report belongs to another program. *)
+val instrument : Driver.report -> mode -> Minilang.Ast.program
+
+(** Static count of checks the instrumentation inserts:
+    [(CC checks, counter enters+exits, return checks)]. *)
+val check_counts : Driver.report -> mode -> int * int * int

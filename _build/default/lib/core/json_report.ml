@@ -1,0 +1,120 @@
+(** Machine-readable (JSON) rendering of analysis reports, for CI
+    integration of the [parcoachc] tool.  Self-contained emitter — no
+    external JSON dependency. *)
+
+open Minilang
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = Printf.sprintf "\"%s\"" (escape s)
+
+let obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (str k) v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let loc_json (l : Loc.t) =
+  obj
+    [
+      ("file", str l.Loc.file);
+      ("line", string_of_int l.Loc.line);
+      ("col", string_of_int l.Loc.col);
+    ]
+
+let warning_json (w : Warning.t) =
+  let base =
+    [
+      ("class", str (Warning.class_of w.Warning.kind));
+      ("function", str w.Warning.func);
+      ("loc", loc_json w.Warning.loc);
+      ("message", str (Warning.to_string w));
+    ]
+  in
+  let extra =
+    match w.Warning.kind with
+    | Warning.Multithreaded_collective { coll; word; required } ->
+        [
+          ("collective", str coll);
+          ("parallelism_word", str (Pword.to_string word));
+          ("required_level", str (Mpisim.Thread_level.to_string required));
+        ]
+    | Warning.Concurrent_collectives { coll1; loc1; coll2; loc2; region1; region2 } ->
+        [
+          ( "collectives",
+            arr
+              [
+                obj [ ("name", str coll1); ("loc", loc_json loc1) ];
+                obj [ ("name", str coll2); ("loc", loc_json loc2) ];
+              ] );
+          ("regions", arr [ string_of_int region1; string_of_int region2 ]);
+        ]
+    | Warning.Collective_mismatch { coll; sites; conds } ->
+        [
+          ("collective", str coll);
+          ("call_sites", arr (List.map loc_json sites));
+          ("conditionals", arr (List.map loc_json conds));
+        ]
+    | Warning.Level_insufficient { coll; required; provided } ->
+        [
+          ("collective", str coll);
+          ("required_level", str (Mpisim.Thread_level.to_string required));
+          ("provided_level", str (Mpisim.Thread_level.to_string provided));
+        ]
+    | Warning.Word_inconsistency { word_a; word_b } ->
+        [
+          ("word_a", str (Pword.to_string word_a));
+          ("word_b", str (Pword.to_string word_b));
+        ]
+  in
+  obj (base @ extra)
+
+(** The whole report as a single JSON object: per-function warnings and
+    check counts, plus totals by class. *)
+let report_json (report : Driver.report) =
+  let funcs =
+    List.map
+      (fun (fr : Driver.func_report) ->
+        obj
+          [
+            ("name", str fr.Driver.fname);
+            ("warnings", arr (List.map warning_json fr.Driver.warnings));
+            ( "collective_sites",
+              string_of_int (List.length (Cfg.Graph.collective_nodes fr.Driver.graph)) );
+            ("cc_sites", string_of_int (List.length fr.Driver.cc_sites));
+            ( "multithreaded_collectives",
+              string_of_int (List.length fr.Driver.phase1.Monothread.s_mt) );
+            ( "concurrent_pairs",
+              string_of_int (List.length fr.Driver.phase2.Concurrency.pairs) );
+          ])
+      report.Driver.funcs
+  in
+  let by_class =
+    List.map
+      (fun (cls, n) -> obj [ ("class", str cls); ("count", string_of_int n) ])
+      (Driver.warnings_by_class report)
+  in
+  obj
+    [
+      ("total_warnings", string_of_int (Driver.warning_count report));
+      ("warnings_by_class", arr by_class);
+      ("functions", arr funcs);
+    ]
+
+let to_string = report_json

@@ -1,0 +1,13 @@
+(** Machine-readable (JSON) rendering of analysis reports, for CI
+    integration of the [parcoachc] tool. *)
+
+(** JSON string escaping (exposed for tests). *)
+val escape : string -> string
+
+val warning_json : Warning.t -> string
+
+(** The whole report as one JSON object: totals by class plus per-function
+    warnings and check statistics. *)
+val report_json : Driver.report -> string
+
+val to_string : Driver.report -> string

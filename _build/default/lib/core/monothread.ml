@@ -1,0 +1,110 @@
+(** Phase 1 of the static analysis: every MPI collective must execute in a
+    monothreaded context.
+
+    For each collective node [n], the phase checks [pw(n) ∈ L].  Nodes that
+    fail go into the set [S] (multithreaded collectives, validated at
+    runtime), and the nodes that dominate them at the start of their
+    innermost region go into [Sipw] (where the runtime monothreading check
+    is anchored).  The phase also derives the minimal MPI thread level each
+    collective placement requires. *)
+
+open Cfg
+
+type entry = {
+  node : int;  (** Collective node id. *)
+  word : Pword.word;
+  monothreaded : bool;
+  required : Mpisim.Thread_level.t;
+  region : int option;  (** Innermost enclosing tokenful region. *)
+}
+
+type result = {
+  entries : entry list;  (** One per collective node, in id order. *)
+  s_mt : int list;  (** The set [S]: collective nodes with [pw ∉ L]. *)
+  sipw : int list;
+      (** The set [Sipw]: [Omp_begin] nodes (or the entry node) anchoring
+          the runtime monothreading checks for [S]. *)
+}
+
+let kind_of_region g id =
+  match Graph.kind g id with
+  | Graph.Omp_begin { kind; _ } -> Some kind
+  | _ -> None
+
+let analyze (pw : Pword.t) =
+  let g = pw.Pword.graph in
+  let entries =
+    List.filter_map
+      (fun node ->
+        match Pword.pw_opt pw node with
+        | None -> None (* unreachable collective: dead code *)
+        | Some word ->
+            let monothreaded = Pword.monothreaded word in
+            let required =
+              Pword.required_level ~kind_of_region:(kind_of_region g) word
+            in
+            Some
+              {
+                node;
+                word;
+                monothreaded;
+                required;
+                region = Pword.innermost_region word;
+              })
+      (Graph.collective_nodes g)
+  in
+  let s_mt =
+    List.filter_map
+      (fun e -> if e.monothreaded then None else Some e.node)
+      entries
+  in
+  let sipw =
+    List.sort_uniq Int.compare
+      (List.filter_map
+         (fun e ->
+           if e.monothreaded then None
+           else Some (Option.value e.region ~default:Graph.entry_id))
+         entries)
+  in
+  { entries; s_mt; sipw }
+
+(** Warnings for the phase: one per multithreaded collective, plus
+    level-insufficiency warnings against the [provided] level. *)
+let warnings g ~fname ~provided result =
+  let coll_name node =
+    match Graph.kind g node with
+    | Graph.Collective { coll; _ } -> Minilang.Ast.collective_name coll
+    | _ -> assert false
+  in
+  List.concat_map
+    (fun e ->
+      let loc = Graph.node_loc g e.node in
+      let name = coll_name e.node in
+      let mt =
+        if e.monothreaded then []
+        else
+          [
+            {
+              Warning.kind =
+                Warning.Multithreaded_collective
+                  { coll = name; word = e.word; required = e.required };
+              func = fname;
+              loc;
+            };
+          ]
+      in
+      let lvl =
+        if Mpisim.Thread_level.includes provided e.required then []
+        else
+          [
+            {
+              Warning.kind =
+                Warning.Level_insufficient
+                  { coll = name; required = e.required; provided };
+              func = fname;
+              loc;
+            };
+          ]
+      in
+      mt @ lvl)
+    result.entries

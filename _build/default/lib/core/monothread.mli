@@ -1,0 +1,27 @@
+(** Phase 1: every MPI collective must execute in monothreaded context
+    ([pw ∈ L]).  Failing collective nodes form the set [S]; the region
+    nodes anchoring their runtime checks form [Sipw]. *)
+
+type entry = {
+  node : int;  (** Collective node id. *)
+  word : Pword.word;
+  monothreaded : bool;
+  required : Mpisim.Thread_level.t;
+  region : int option;  (** Innermost enclosing tokenful region. *)
+}
+
+type result = {
+  entries : entry list;  (** One per reachable collective, in id order. *)
+  s_mt : int list;  (** The set [S]: collectives with [pw ∉ L]. *)
+  sipw : int list;  (** The set [Sipw] of check-anchor nodes. *)
+}
+
+val analyze : Pword.t -> result
+
+(** Phase-1 warnings, including level-insufficiency against [provided]. *)
+val warnings :
+  Cfg.Graph.t ->
+  fname:string ->
+  provided:Mpisim.Thread_level.t ->
+  result ->
+  Warning.t list

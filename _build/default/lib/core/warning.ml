@@ -1,0 +1,100 @@
+(** Compile-time warnings issued by the PARCOACH analyses.
+
+    Each warning carries the error class ("collective mismatch", "concurrent
+    collective calls", ...), the function, and the names and source lines of
+    the MPI collective calls involved — matching the paper's report
+    format. *)
+
+open Minilang
+
+type kind =
+  | Multithreaded_collective of {
+      coll : string;
+      word : Pword.word;
+      required : Mpisim.Thread_level.t;
+    }
+      (** Phase 1: a collective whose parallelism word is outside
+          [L = (S|PB*S)*] — it may be executed by multiple
+          non-synchronized threads of one process. *)
+  | Concurrent_collectives of {
+      coll1 : string;
+      loc1 : Loc.t;
+      coll2 : string;
+      loc2 : Loc.t;
+      region1 : int;
+      region2 : int;
+    }
+      (** Phase 2: two collectives in concurrent monothreaded regions
+          (e.g. two [single] regions not separated by a barrier). *)
+  | Collective_mismatch of {
+      coll : string;
+      sites : Loc.t list;
+      conds : Loc.t list;
+    }
+      (** Phase 3 (Algorithm 1 of PARCOACH): control-flow divergence points
+          on which the execution of [coll] depends — MPI processes may not
+          all execute the same sequence of [coll]. *)
+  | Level_insufficient of {
+      coll : string;
+      required : Mpisim.Thread_level.t;
+      provided : Mpisim.Thread_level.t;
+    }
+      (** The placement requires a higher MPI thread level than the one the
+          analysis was told the program initialises. *)
+  | Word_inconsistency of { word_a : Pword.word; word_b : Pword.word }
+      (** Join point whose incoming parallelism words disagree (barrier
+          under non-uniform control flow). *)
+
+type t = { kind : kind; func : string; loc : Loc.t }
+
+(** Short classification string, as printed in the paper's reports. *)
+let class_of = function
+  | Multithreaded_collective _ -> "multithreaded collective"
+  | Concurrent_collectives _ -> "concurrent collective calls"
+  | Collective_mismatch _ -> "collective mismatch"
+  | Level_insufficient _ -> "insufficient thread level"
+  | Word_inconsistency _ -> "parallelism word inconsistency"
+
+let pp ppf w =
+  match w.kind with
+  | Multithreaded_collective { coll; word; required } ->
+      Fmt.pf ppf
+        "%a: warning: %s: %s in function '%s' may be executed by multiple \
+         non-synchronized threads (pw = %a ∉ L); requires %a"
+        Loc.pp w.loc (class_of w.kind) coll w.func Pword.pp word
+        Mpisim.Thread_level.pp required
+  | Concurrent_collectives { coll1; loc1; coll2; loc2; region1; region2 } ->
+      Fmt.pf ppf
+        "%a: warning: %s: %s (%a) and %s (%a) in function '%s' are in \
+         concurrent monothreaded regions S%d/S%d and may execute \
+         simultaneously"
+        Loc.pp w.loc (class_of w.kind) coll1 Loc.pp loc1 coll2 Loc.pp loc2
+        w.func region1 region2
+  | Collective_mismatch { coll; sites; conds } ->
+      Fmt.pf ppf
+        "%a: warning: %s: %s in function '%s' (call sites: %a) depends on \
+         the control flow at %a; processes may not all call it the same \
+         number of times"
+        Loc.pp w.loc (class_of w.kind) coll w.func
+        (Fmt.list ~sep:Fmt.comma Loc.pp)
+        sites
+        (Fmt.list ~sep:Fmt.comma Loc.pp)
+        conds
+  | Level_insufficient { coll; required; provided } ->
+      Fmt.pf ppf
+        "%a: warning: %s: %s in function '%s' requires %a but the program \
+         initialises MPI with %a"
+        Loc.pp w.loc (class_of w.kind) coll w.func Mpisim.Thread_level.pp
+        required Mpisim.Thread_level.pp provided
+  | Word_inconsistency { word_a; word_b } ->
+      Fmt.pf ppf
+        "%a: warning: %s in function '%s': %a vs %a (barrier under \
+         non-uniform control flow?)"
+        Loc.pp w.loc (class_of w.kind) w.func Pword.pp word_a Pword.pp word_b
+
+let to_string w = Fmt.str "%a" pp w
+
+(** Stable ordering for reports: by location then class. *)
+let compare a b =
+  let c = Loc.compare a.loc b.loc in
+  if c <> 0 then c else String.compare (class_of a.kind) (class_of b.kind)

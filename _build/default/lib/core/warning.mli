@@ -1,0 +1,41 @@
+(** Compile-time warnings issued by the PARCOACH analyses, carrying the
+    error class, function, and the names and source lines of the involved
+    MPI collective calls. *)
+
+type kind =
+  | Multithreaded_collective of {
+      coll : string;
+      word : Pword.word;
+      required : Mpisim.Thread_level.t;
+    }  (** Phase 1: parallelism word outside [L]. *)
+  | Concurrent_collectives of {
+      coll1 : string;
+      loc1 : Minilang.Loc.t;
+      coll2 : string;
+      loc2 : Minilang.Loc.t;
+      region1 : int;
+      region2 : int;
+    }  (** Phase 2: collectives in concurrent monothreaded regions. *)
+  | Collective_mismatch of {
+      coll : string;
+      sites : Minilang.Loc.t list;
+      conds : Minilang.Loc.t list;
+    }  (** Phase 3: execution control-dependent on a divergence point. *)
+  | Level_insufficient of {
+      coll : string;
+      required : Mpisim.Thread_level.t;
+      provided : Mpisim.Thread_level.t;
+    }
+  | Word_inconsistency of { word_a : Pword.word; word_b : Pword.word }
+
+type t = { kind : kind; func : string; loc : Minilang.Loc.t }
+
+(** Short classification string ("collective mismatch", ...). *)
+val class_of : kind -> string
+
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+(** Stable report ordering: by location, then class. *)
+val compare : t -> t -> int

@@ -1,0 +1,1 @@
+lib/interp/env.ml: List Map String

@@ -1,0 +1,1 @@
+lib/interp/explore.ml: Fmt List Sim

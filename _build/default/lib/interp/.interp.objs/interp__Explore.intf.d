@@ -1,0 +1,1 @@
+lib/interp/explore.mli: Fmt Minilang Sim

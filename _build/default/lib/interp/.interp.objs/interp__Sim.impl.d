@@ -1,0 +1,1 @@
+lib/interp/sim.ml: Array Ast Env Fmt Hashtbl List Loc Minilang Mpisim Ompsim Option Printf Random Task

@@ -1,0 +1,1 @@
+lib/interp/sim.mli: Fmt Minilang Mpisim

@@ -1,0 +1,1 @@
+lib/interp/task.ml: Env Hashtbl Minilang Ompsim Option Printf

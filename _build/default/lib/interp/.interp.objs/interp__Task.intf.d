@@ -1,0 +1,1 @@
+lib/interp/task.mli: Env Hashtbl Minilang Ompsim

@@ -1,0 +1,36 @@
+(** Variable environments with OpenMP shared-by-default semantics.
+
+    A variable is a mutable integer cell; forking a team passes the
+    environment (and thus the cells) to every member, so assignments are
+    visible across the team — the shared-memory model the validated
+    programs rely on.  Private copies (worksharing loop variables, function
+    parameters) are fresh cells. *)
+
+module StringMap = Map.Make (String)
+
+type cell = int ref
+
+type t = cell StringMap.t
+
+exception Unbound of string
+
+let empty : t = StringMap.empty
+
+(** [declare x v env] binds [x] to a fresh cell holding [v] (shadows any
+    outer binding, like a block-scoped declaration). *)
+let declare x v env = StringMap.add x (ref v) env
+
+let cell x env =
+  match StringMap.find_opt x env with
+  | Some c -> c
+  | None -> raise (Unbound x)
+
+let lookup x env = !(cell x env)
+
+let assign x v env = cell x env := v
+
+let mem x env = StringMap.mem x env
+
+(** Bindings as a sorted association list (snapshots for traces/tests). *)
+let snapshot env =
+  StringMap.fold (fun x c acc -> (x, !c) :: acc) env [] |> List.rev

@@ -1,0 +1,30 @@
+(** Variable environments with OpenMP shared-by-default semantics: a
+    variable is a mutable integer cell, shared with every task that
+    captured the binding; private copies are fresh cells. *)
+
+module StringMap : Map.S with type key = string
+
+type cell = int ref
+
+type t = cell StringMap.t
+
+exception Unbound of string
+
+val empty : t
+
+(** Bind a fresh cell (block-scoped declaration, shadows outer). *)
+val declare : string -> int -> t -> t
+
+(** @raise Unbound if the variable is not bound. *)
+val cell : string -> t -> cell
+
+(** @raise Unbound if the variable is not bound. *)
+val lookup : string -> t -> int
+
+(** @raise Unbound if the variable is not bound. *)
+val assign : string -> int -> t -> unit
+
+val mem : string -> t -> bool
+
+(** Bindings as a sorted association list. *)
+val snapshot : t -> (string * int) list

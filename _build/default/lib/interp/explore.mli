@@ -1,0 +1,38 @@
+(** Bounded schedule-space exploration (stateless model checking, lite):
+    systematically enumerate the scheduler's choices at the first
+    [branch_depth] steps, classify every outcome, and keep a witness
+    schedule per class — racing schedules of interleaving-dependent bugs
+    are found deterministically instead of by seed sampling. *)
+
+type summary = {
+  finished : int;
+  aborted : int;
+  faulted : int;
+  deadlocked : int;
+  step_limited : int;
+  runs : int;
+  witnesses : (string * int list) list;
+      (** First witness script observed per class name. *)
+}
+
+val class_name : Sim.outcome -> string
+
+(** Explore up to [budget] schedules branching over the first
+    [branch_depth] choices; [config.schedule] is ignored. *)
+val outcomes :
+  ?branch_depth:int ->
+  ?budget:int ->
+  config:Sim.config ->
+  Minilang.Ast.program ->
+  summary
+
+val pp_summary : summary Fmt.t
+
+val summary_to_string : summary -> string
+
+(** Did some explored schedule reach this class ("finished", "aborted",
+    "fault", "deadlock", "step-limit")? *)
+val reaches : summary -> string -> bool
+
+(** Replay a witness script. *)
+val replay : config:Sim.config -> Minilang.Ast.program -> int list -> Sim.result

@@ -1,0 +1,784 @@
+(** The hybrid MPI+OpenMP execution simulator.
+
+    [run] executes a validated program on [nranks] simulated MPI processes,
+    each potentially forking OpenMP teams.  Every rank×thread is a
+    {!Task.t}; a seeded scheduler advances one task per step, so
+    interleavings are reproducible and errors that depend on timing (two
+    [single] regions overlapping, threads racing into collectives) can be
+    exhibited deterministically in tests.
+
+    Error taxonomy:
+    - {!outcome.Aborted}: an instrumentation check ([CC] agreement or
+      concurrency counter) stopped the program cleanly {e before} the
+      faulty collective executed — the behaviour the paper's §3 aims for;
+    - {!outcome.Fault}: the simulated MPI library itself hit the error
+      (signature mismatch at the rendezvous, a second collective arrival
+      from a non-synchronized thread, an evaluation error);
+    - {!outcome.Deadlock}: no task can run — e.g. ranks waiting in
+      different collectives or a team that never fills a barrier. *)
+
+open Minilang
+
+type error =
+  | Mismatch of Mpisim.Engine.rank_call list
+      (** Ranks met in collectives with different signatures. *)
+  | Cc_divergence of Mpisim.Engine.rank_call list
+      (** The CC agreement found diverging next-collective colours. *)
+  | Concurrent_collective of { rank : int; site1 : string; site2 : string }
+      (** Two threads of one rank had collectives in flight at once. *)
+  | Concurrent_region of { rank : int; region : int; site : string }
+      (** A concurrency counter (set [Scc]/[Sipw] check) exceeded 1. *)
+  | Multithreaded_region of { rank : int; site : string }
+      (** A strict monothreading assertion failed. *)
+  | Eval_error of { rank : int; site : string; message : string }
+  | Level_violation of {
+      rank : int;
+      site : string;
+      required : Mpisim.Thread_level.t;
+      provided : Mpisim.Thread_level.t;
+    }
+      (** A collective was issued from a threading context the initialised
+          MPI thread level does not permit. *)
+
+type outcome =
+  | Finished
+  | Aborted of error  (** Clean stop by a verification check. *)
+  | Fault of error  (** The error reached the MPI library. *)
+  | Deadlock of string list  (** Descriptions of the blocked tasks. *)
+  | Step_limit
+
+type stats = {
+  mutable steps : int;
+  mutable work : int;  (** Total [compute] cost executed. *)
+  mutable counter_checks : int;
+  mutable cc_calls : int;
+  mutable tasks_spawned : int;
+  mutable trace : (int * int * int) list;  (** (rank, tid, value), reversed. *)
+  mutable degrees : int list;
+      (** Runnable-task counts at the first scheduling steps (reversed,
+          capped): the branching structure {!Explore} enumerates. *)
+}
+
+type result = { outcome : outcome; stats : stats; engine : Mpisim.Engine.t }
+
+type config = {
+  nranks : int;
+  default_nthreads : int;  (** Team size when [num_threads] is absent. *)
+  schedule : [ `Round_robin | `Random of int | `Scripted of int list ];
+      (** [`Scripted choices]: at step [k] pick the [choices[k]]-th runnable
+          task (modulo the runnable count); after the script is exhausted,
+          fall back to round-robin.  Used by {!Explore}. *)
+  max_steps : int;
+  entry : string;
+  record_trace : bool;
+  thread_level : Mpisim.Thread_level.t;
+      (** Level the simulated MPI library was initialised with; collectives
+          from contexts requiring more are rejected. *)
+}
+
+let default_config =
+  {
+    nranks = 4;
+    default_nthreads = 4;
+    schedule = `Random 42;
+    max_steps = 2_000_000;
+    entry = "main";
+    record_trace = true;
+    thread_level = Mpisim.Thread_level.Multiple;
+  }
+
+exception Abort_exn of outcome
+
+(* Physical-identity statement table, for construct uids ([single]
+   arbitration keys). *)
+module Stmt_tbl = Hashtbl.Make (struct
+  type t = Ast.stmt
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+type state = {
+  config : config;
+  program : Ast.program;
+  engine : Mpisim.Engine.t;
+  mailbox : Mpisim.Mailbox.t;
+  criticals : Ompsim.Critical.t array;  (** Per-rank named locks. *)
+  counters : (int * int, int) Hashtbl.t;  (** (rank, region) → live count. *)
+  uids : int Stmt_tbl.t;
+  mutable next_uid : int;
+  mutable tasks : Task.t list;  (** All tasks ever spawned, oldest first. *)
+  task_tbl : (int, Task.t) Hashtbl.t;
+  mutable next_task_id : int;
+  stats : stats;
+}
+
+let uid_of st stmt =
+  match Stmt_tbl.find_opt st.uids stmt with
+  | Some u -> u
+  | None ->
+      let u = st.next_uid in
+      st.next_uid <- u + 1;
+      Stmt_tbl.replace st.uids stmt u;
+      u
+
+let find_task st cookie = Hashtbl.find st.task_tbl cookie
+
+let spawn st ~rank ~tid ~team ~konts =
+  let id = st.next_task_id in
+  st.next_task_id <- id + 1;
+  let t = Task.make ~id ~rank ~tid ~team ~konts in
+  st.tasks <- st.tasks @ [ t ];
+  Hashtbl.replace st.task_tbl id t;
+  st.stats.tasks_spawned <- st.stats.tasks_spawned + 1;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let eval_error st task site fmt =
+  ignore st;
+  Printf.ksprintf
+    (fun message ->
+      raise (Abort_exn (Fault (Eval_error { rank = task.Task.rank; site; message }))))
+    fmt
+
+let rec eval st task env site (e : Ast.expr) =
+  match e with
+  | Int n -> n
+  | Bool b -> if b then 1 else 0
+  | Var x -> (
+      try Env.lookup x env
+      with Env.Unbound x -> eval_error st task site "unbound variable '%s'" x)
+  | Rank -> task.Task.rank
+  | Size -> st.config.nranks
+  | Tid -> task.Task.tid
+  | Nthreads -> Task.team_size task
+  | Unop (Neg, e) -> -eval st task env site e
+  | Unop (Not, e) -> if eval st task env site e = 0 then 1 else 0
+  | Binop (op, a, b) -> (
+      let x = eval st task env site a in
+      match op with
+      | And -> if x = 0 then 0 else min 1 (abs (eval st task env site b))
+      | Or -> if x <> 0 then 1 else min 1 (abs (eval st task env site b))
+      | _ -> (
+          let y = eval st task env site b in
+          let bool_of c = if c then 1 else 0 in
+          match op with
+          | Add -> x + y
+          | Sub -> x - y
+          | Mul -> x * y
+          | Div ->
+              if y = 0 then eval_error st task site "division by zero"
+              else x / y
+          | Mod ->
+              if y = 0 then eval_error st task site "modulo by zero" else x mod y
+          | Eq -> bool_of (x = y)
+          | Ne -> bool_of (x <> y)
+          | Lt -> bool_of (x < y)
+          | Le -> bool_of (x <= y)
+          | Gt -> bool_of (x > y)
+          | Ge -> bool_of (x >= y)
+          | And | Or -> assert false))
+
+(* ------------------------------------------------------------------ *)
+(* Collective plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Identity element of each reduction operator over ints. *)
+let reduction_identity = function
+  | Ast.Rsum -> 0
+  | Ast.Rprod -> 1
+  | Ast.Rmax -> min_int
+  | Ast.Rmin -> max_int
+  | Ast.Rland -> 1
+  | Ast.Rlor -> 0
+
+let apply_reduce_op op a b =
+  match op with
+  | Ast.Rsum -> a + b
+  | Ast.Rprod -> a * b
+  | Ast.Rmax -> max a b
+  | Ast.Rmin -> min a b
+  | Ast.Rland -> if a <> 0 && b <> 0 then 1 else 0
+  | Ast.Rlor -> if a <> 0 || b <> 0 then 1 else 0
+
+let op_of_ast = function
+  | Ast.Rsum -> Mpisim.Op.Sum
+  | Ast.Rprod -> Mpisim.Op.Prod
+  | Ast.Rmax -> Mpisim.Op.Max
+  | Ast.Rmin -> Mpisim.Op.Min
+  | Ast.Rland -> Mpisim.Op.Land
+  | Ast.Rlor -> Mpisim.Op.Lor
+
+let call_of_collective st task env site (c : Ast.collective) =
+  let ev e = eval st task env site e in
+  let root e =
+    let r = ev e in
+    if r < 0 || r >= st.config.nranks then
+      eval_error st task site "collective root %d out of range" r
+    else r
+  in
+  let make kind ?op ?root ~payload () =
+    Mpisim.Coll.make kind ?op ?root ~payload ~site ()
+  in
+  match c with
+  | Barrier -> make Mpisim.Coll.Barrier ~payload:0 ()
+  | Bcast { root = r; value } ->
+      make Mpisim.Coll.Bcast ~root:(root r) ~payload:(ev value) ()
+  | Reduce { op; root = r; value } ->
+      make Mpisim.Coll.Reduce ~op:(op_of_ast op) ~root:(root r)
+        ~payload:(ev value) ()
+  | Allreduce { op; value } ->
+      make Mpisim.Coll.Allreduce ~op:(op_of_ast op) ~payload:(ev value) ()
+  | Gather { root = r; value } ->
+      make Mpisim.Coll.Gather ~root:(root r) ~payload:(ev value) ()
+  | Scatter { root = r; value } ->
+      make Mpisim.Coll.Scatter ~root:(root r) ~payload:(ev value) ()
+  | Allgather { value } -> make Mpisim.Coll.Allgather ~payload:(ev value) ()
+  | Alltoall { value } -> make Mpisim.Coll.Alltoall ~payload:(ev value) ()
+  | Scan { op; value } ->
+      make Mpisim.Coll.Scan ~op:(op_of_ast op) ~payload:(ev value) ()
+  | Reduce_scatter { op; value } ->
+      make Mpisim.Coll.Reduce_scatter ~op:(op_of_ast op) ~payload:(ev value) ()
+
+(* Register an arrival and, if the collective is now full, complete it. *)
+let collective_arrive st (task : Task.t) call cell =
+  task.Task.wait_cell <- cell;
+  match Mpisim.Engine.arrive st.engine ~rank:task.Task.rank ~cookie:task.Task.id call with
+  | Mpisim.Engine.Busy_rank { pending_site; pending_kind } ->
+      let error =
+        Concurrent_collective
+          {
+            rank = task.Task.rank;
+            site1 = pending_site;
+            site2 = call.Mpisim.Coll.site;
+          }
+      in
+      (* If either side of the collision is a CC check, the instrumentation
+         detected the race before both real collectives were in flight: a
+         clean abort.  Two real collectives colliding is the fault
+         itself. *)
+      if
+        call.Mpisim.Coll.kind = Mpisim.Coll.Cc_check
+        || pending_kind = Mpisim.Coll.Cc_check
+      then raise (Abort_exn (Aborted error))
+      else raise (Abort_exn (Fault error))
+  | Mpisim.Engine.Waiting -> (
+      task.Task.status <-
+        Task.Blocked
+          (Task.At_collective
+             {
+               site = call.Mpisim.Coll.site;
+               coll = Mpisim.Coll.kind_name call.Mpisim.Coll.kind;
+             });
+      match Mpisim.Engine.try_complete st.engine with
+      | None -> ()
+      | Some (Mpisim.Engine.Completed { calls; results }) ->
+          List.iter
+            (fun (rc : Mpisim.Engine.rank_call) ->
+              let t = find_task st rc.Mpisim.Engine.cookie in
+              (match t.Task.wait_cell with
+              | Some c -> c := results.(rc.Mpisim.Engine.rank)
+              | None -> ());
+              t.Task.wait_cell <- None;
+              t.Task.status <- Task.Runnable)
+            calls
+      | Some (Mpisim.Engine.Mismatch calls) ->
+          raise (Abort_exn (Fault (Mismatch calls)))
+      | Some (Mpisim.Engine.Cc_divergence calls) ->
+          raise (Abort_exn (Aborted (Cc_divergence calls))))
+
+let barrier_arrive st (task : Task.t) (team : Ompsim.Team.t) ~site =
+  match Ompsim.Barrier.arrive team.Ompsim.Team.barrier ~cookie:task.Task.id with
+  | Ompsim.Barrier.Wait -> task.Task.status <- Task.Blocked (Task.At_barrier { site })
+  | Ompsim.Barrier.Release cookies ->
+      List.iter
+        (fun c -> (find_task st c).Task.status <- Task.Runnable)
+        cookies
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let exec_check st (task : Task.t) site (check : Ast.check) =
+  match check with
+  | Ast.Cc_next_collective { color; coll_name } ->
+      st.stats.cc_calls <- st.stats.cc_calls + 1;
+      let call =
+        Mpisim.Coll.cc_check ~color
+          ~site:(Printf.sprintf "%s (next: %s)" site coll_name)
+      in
+      collective_arrive st task call None
+  | Ast.Cc_return ->
+      st.stats.cc_calls <- st.stats.cc_calls + 1;
+      let call =
+        Mpisim.Coll.cc_check ~color:Ast.cc_return_color
+          ~site:(Printf.sprintf "%s (function exit)" site)
+      in
+      collective_arrive st task call None
+  | Ast.Assert_monothread { region } ->
+      ignore region;
+      if Task.team_size task > 1 && task.Task.single_depth = 0 then
+        raise
+          (Abort_exn (Aborted (Multithreaded_region { rank = task.Task.rank; site })))
+  | Ast.Count_enter { region } ->
+      st.stats.counter_checks <- st.stats.counter_checks + 1;
+      let key = (task.Task.rank, region) in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt st.counters key) in
+      Hashtbl.replace st.counters key n;
+      if n > 1 then
+        raise
+          (Abort_exn
+             (Aborted (Concurrent_region { rank = task.Task.rank; region; site })))
+  | Ast.Count_exit { region } ->
+      let key = (task.Task.rank, region) in
+      let n = Option.value ~default:0 (Hashtbl.find_opt st.counters key) in
+      Hashtbl.replace st.counters key (max 0 (n - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Dynamic thread-level requirement of the calling context: no team means
+   the single initial thread; inside a [single]/[master]/[section] body one
+   thread of the team calls MPI at a time (SERIALIZED — a conservative
+   merge of FUNNELED and SERIALIZED); any other in-team context is
+   unrestricted threading.  Applies to collectives and point-to-point
+   calls alike. *)
+let enforce_thread_level st (task : Task.t) site =
+  let required =
+    match task.Task.team with
+    | None -> Mpisim.Thread_level.Single
+    | Some _ ->
+        if task.Task.single_depth > 0 then Mpisim.Thread_level.Serialized
+        else Mpisim.Thread_level.Multiple
+  in
+  if not (Mpisim.Thread_level.includes st.config.thread_level required) then
+    raise
+      (Abort_exn
+         (Fault
+            (Level_violation
+               {
+                 rank = task.Task.rank;
+                 site;
+                 required;
+                 provided = st.config.thread_level;
+               })))
+
+let push_single_body st (task : Task.t) body env ~team ~nowait =
+  ignore st;
+  task.Task.konts <-
+    Task.Kenter_single
+    :: Task.Kseq (body, env)
+    :: Task.Kexit_single { team; nowait }
+    :: task.Task.konts
+
+let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
+  let site = Loc.to_string s.Ast.sloc in
+  let ev e = eval st task env site e in
+  match s.Ast.sdesc with
+  | Ast.Decl _ -> assert false (* handled in [step] to thread the env *)
+  | Ast.Assign (x, e) -> (
+      let v = ev e in
+      try Env.assign x v env
+      with Env.Unbound x -> eval_error st task site "unbound variable '%s'" x)
+  | Ast.If (c, bt, bf) ->
+      let branch = if ev c <> 0 then bt else bf in
+      task.Task.konts <- Task.Kseq (branch, env) :: task.Task.konts
+  | Ast.While (c, body) ->
+      task.Task.konts <- Task.Kwhile (c, body, env) :: task.Task.konts
+  | Ast.For (x, lo, hi, body) ->
+      let l = ev lo and h = ev hi in
+      task.Task.konts <-
+        Task.Kfor { var = x; current = l; stop = h; body; env }
+        :: task.Task.konts
+  | Ast.Return ->
+      let rec unwind = function
+        | [] -> []
+        | Task.Kcall_return :: rest -> rest
+        | _ :: rest -> unwind rest
+      in
+      task.Task.konts <- unwind task.Task.konts
+  | Ast.Call (fname, args) -> (
+      match Ast.find_func st.program fname with
+      | None -> eval_error st task site "undefined function '%s'" fname
+      | Some f ->
+          if List.length f.Ast.params <> List.length args then
+            eval_error st task site "arity mismatch calling '%s'" fname;
+          let env0 =
+            List.fold_left2
+              (fun acc p a -> Env.declare p (ev a) acc)
+              Env.empty f.Ast.params args
+          in
+          task.Task.konts <-
+            Task.Kseq (f.Ast.body, env0) :: Task.Kcall_return :: task.Task.konts)
+  | Ast.Compute e ->
+      let n = ev e in
+      st.stats.work <- st.stats.work + max 0 n
+  | Ast.Print e ->
+      let v = ev e in
+      if st.config.record_trace then
+        st.stats.trace <- (task.Task.rank, task.Task.tid, v) :: st.stats.trace
+  | Ast.Coll (target, c) ->
+      enforce_thread_level st task site;
+      let call = call_of_collective st task env site c in
+      let cell =
+        match target with
+        | None -> None
+        | Some x -> (
+            try Some (Env.cell x env)
+            with Env.Unbound x ->
+              eval_error st task site "unbound variable '%s'" x)
+      in
+      collective_arrive st task call cell
+  | Ast.Check check -> exec_check st task site check
+  | Ast.Send { value; dest; tag } ->
+      enforce_thread_level st task site;
+      let v = ev value and dst = ev dest and tag = ev tag in
+      if dst < 0 || dst >= st.config.nranks then
+        eval_error st task site "send destination %d out of range" dst;
+      Mpisim.Mailbox.send st.mailbox ~src:task.Task.rank ~dst ~tag ~value:v
+        ~site;
+      (* An eager send may unblock a matching receiver of [dst]. *)
+      List.iter
+        (fun (t : Task.t) ->
+          match t.Task.status with
+          | Task.Blocked (Task.At_recv { src; tag; _ }) when t.Task.rank = dst
+            -> (
+              match Mpisim.Mailbox.recv st.mailbox ~dst ~src ~tag with
+              | Some m ->
+                  (match t.Task.wait_cell with
+                  | Some cell -> cell := m.Mpisim.Mailbox.value
+                  | None -> ());
+                  t.Task.wait_cell <- None;
+                  t.Task.status <- Task.Runnable
+              | None -> ())
+          | _ -> ())
+        st.tasks
+  | Ast.Recv { target; src; tag } -> (
+      enforce_thread_level st task site;
+      let src = ev src and tag = ev tag in
+      if src <> Mpisim.Mailbox.any_source
+         && (src < 0 || src >= st.config.nranks)
+      then eval_error st task site "receive source %d out of range" src;
+      let cell =
+        try Env.cell target env
+        with Env.Unbound x -> eval_error st task site "unbound variable '%s'" x
+      in
+      match Mpisim.Mailbox.recv st.mailbox ~dst:task.Task.rank ~src ~tag with
+      | Some m -> cell := m.Mpisim.Mailbox.value
+      | None ->
+          task.Task.wait_cell <- Some cell;
+          task.Task.status <- Task.Blocked (Task.At_recv { src; tag; site }))
+  | Ast.Omp_parallel { num_threads; body } ->
+      let n =
+        match num_threads with
+        | None -> st.config.default_nthreads
+        | Some e -> ev e
+      in
+      if n <= 0 then eval_error st task site "num_threads(%d) must be positive" n;
+      let team =
+        Ompsim.Team.create ~rank:task.Task.rank ~size:n ~parent:task.Task.team
+          ~forker:task.Task.id
+      in
+      for tid = 0 to n - 1 do
+        ignore
+          (spawn st ~rank:task.Task.rank ~tid ~team:(Some team)
+             ~konts:[ Task.Kseq (body, env) ])
+      done;
+      task.Task.status <- Task.Blocked Task.At_join
+  | Ast.Omp_single { nowait; body } -> (
+      match task.Task.team with
+      | None -> push_single_body st task body env ~team:None ~nowait:true
+      | Some team ->
+          let uid = uid_of st s in
+          let instance = Task.next_instance task uid in
+          if Ompsim.Team.claim_single team ~construct:uid ~instance then
+            push_single_body st task body env ~team:(Some team) ~nowait
+          else if not nowait then barrier_arrive st task team ~site)
+  | Ast.Omp_master body -> (
+      match task.Task.team with
+      | None -> push_single_body st task body env ~team:None ~nowait:true
+      | Some _ ->
+          if task.Task.tid = 0 then
+            push_single_body st task body env ~team:None ~nowait:true)
+  | Ast.Omp_critical (name, body) -> (
+      let name = Option.value name ~default:Ompsim.Critical.anonymous in
+      task.Task.konts <-
+        Task.Kseq (body, env) :: Task.Kcritical_end name :: task.Task.konts;
+      match
+        Ompsim.Critical.acquire st.criticals.(task.Task.rank) ~name
+          ~cookie:task.Task.id
+      with
+      | Ompsim.Critical.Acquired -> ()
+      | Ompsim.Critical.Must_wait ->
+          task.Task.status <- Task.Blocked (Task.At_critical { name; site }))
+  | Ast.Omp_barrier -> (
+      match task.Task.team with
+      | None -> ()
+      | Some team -> barrier_arrive st task team ~site)
+  | Ast.Omp_for { var; lo; hi; nowait; reduction; body } ->
+      let l = ev lo and h = ev hi in
+      let start, stop =
+        match task.Task.team with
+        | None -> (l, h)
+        | Some team ->
+            Ompsim.Schedule.chunk ~lo:l ~hi:h ~tid:task.Task.tid
+              ~nthreads:team.Ompsim.Team.size
+      in
+      let env, combine_konts =
+        match reduction with
+        | None -> (env, [])
+        | Some (op, x) ->
+            let shared =
+              try Env.cell x env
+              with Env.Unbound x ->
+                eval_error st task site "unbound reduction variable '%s'" x
+            in
+            let private_ = ref (reduction_identity op) in
+            ( Env.StringMap.add x private_ env,
+              [ Task.Kreduce_combine { op; shared; private_ } ] )
+      in
+      task.Task.konts <-
+        (Task.Kfor { var; current = start; stop; body; env }
+        :: combine_konts)
+        @ Task.Kexit_ws { team = task.Task.team; nowait }
+          :: task.Task.konts
+  | Ast.Omp_sections { nowait; sections } ->
+      let mine =
+        match task.Task.team with
+        | None -> List.mapi (fun i _ -> i) sections
+        | Some team ->
+            Ompsim.Schedule.sections_for ~count:(List.length sections)
+              ~tid:task.Task.tid ~nthreads:team.Ompsim.Team.size
+      in
+      let konts_for_sections =
+        List.concat_map
+          (fun i ->
+            let sec = List.nth sections i in
+            [
+              Task.Kenter_single;
+              Task.Kseq (sec, env);
+              Task.Kexit_single { team = None; nowait = true };
+            ])
+          mine
+      in
+      task.Task.konts <-
+        konts_for_sections
+        @ (Task.Kexit_ws { team = task.Task.team; nowait } :: task.Task.konts)
+
+(* ------------------------------------------------------------------ *)
+(* Small-step driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let finish_task st (task : Task.t) =
+  task.Task.status <- Task.Finished;
+  match task.Task.team with
+  | None -> ()
+  | Some team ->
+      if Ompsim.Team.member_finished team then begin
+        let forker = find_task st team.Ompsim.Team.forker in
+        forker.Task.status <- Task.Runnable
+      end
+
+let step st (task : Task.t) =
+  match task.Task.konts with
+  | [] -> finish_task st task
+  | k :: rest -> (
+      match k with
+      | Task.Kseq ([], _) -> task.Task.konts <- rest
+      | Task.Kseq (s :: ss, env) -> (
+          match s.Ast.sdesc with
+          | Ast.Decl (x, e) ->
+              let v = eval st task env (Loc.to_string s.Ast.sloc) e in
+              task.Task.konts <- Task.Kseq (ss, Env.declare x v env) :: rest
+          | _ ->
+              task.Task.konts <- Task.Kseq (ss, env) :: rest;
+              exec_stmt st task s env)
+      | Task.Kwhile (c, body, env) ->
+          if eval st task env "<while>" c <> 0 then
+            task.Task.konts <- Task.Kseq (body, env) :: task.Task.konts
+          else task.Task.konts <- rest
+      | Task.Kfor ({ current; stop; var; body; env; _ } as f) ->
+          if current < stop then begin
+            let env = Env.declare var current env in
+            f.current <- current + 1;
+            task.Task.konts <- Task.Kseq (body, env) :: task.Task.konts
+          end
+          else task.Task.konts <- rest
+      | Task.Kcall_return -> task.Task.konts <- rest
+      | Task.Kenter_single ->
+          task.Task.single_depth <- task.Task.single_depth + 1;
+          task.Task.konts <- rest
+      | Task.Kexit_single { team; nowait } -> (
+          task.Task.single_depth <- max 0 (task.Task.single_depth - 1);
+          task.Task.konts <- rest;
+          match team with
+          | Some tm when not nowait ->
+              barrier_arrive st task tm ~site:"<end single>"
+          | Some _ | None -> ())
+      | Task.Kexit_ws { team; nowait } -> (
+          task.Task.konts <- rest;
+          match team with
+          | Some tm when not nowait ->
+              barrier_arrive st task tm ~site:"<end worksharing>"
+          | Some _ | None -> ())
+      | Task.Kreduce_combine { op; shared; private_ } ->
+          shared := apply_reduce_op op !shared !private_;
+          task.Task.konts <- rest
+      | Task.Kcritical_end name -> (
+          task.Task.konts <- rest;
+          match
+            Ompsim.Critical.release st.criticals.(task.Task.rank) ~name
+              ~cookie:task.Task.id
+          with
+          | None -> ()
+          | Some next -> (find_task st next).Task.status <- Task.Runnable))
+
+let pp_error ppf = function
+  | Mismatch calls ->
+      Fmt.pf ppf "collective mismatch:@\n%s"
+        (Mpisim.Engine.describe_divergence calls)
+  | Cc_divergence calls ->
+      Fmt.pf ppf
+        "CC check: processes disagree on the next collective:@\n%s"
+        (Mpisim.Engine.describe_divergence calls)
+  | Concurrent_collective { rank; site1; site2 } ->
+      Fmt.pf ppf
+        "concurrent collective calls on rank %d: %s while %s is in flight"
+        rank site2 site1
+  | Concurrent_region { rank; region; site } ->
+      Fmt.pf ppf
+        "concurrency counter: >1 thread of rank %d in monothreaded region \
+         group %d at %s"
+        rank region site
+  | Multithreaded_region { rank; site } ->
+      Fmt.pf ppf "collective in multithreaded context on rank %d at %s" rank
+        site
+  | Eval_error { rank; site; message } ->
+      Fmt.pf ppf "evaluation error on rank %d at %s: %s" rank site message
+  | Level_violation { rank; site; required; provided } ->
+      Fmt.pf ppf
+        "thread-level violation on rank %d at %s: the call site requires %a \
+         but MPI was initialised with %a"
+        rank site Mpisim.Thread_level.pp required Mpisim.Thread_level.pp
+        provided
+
+let pp_outcome ppf = function
+  | Finished -> Fmt.string ppf "finished"
+  | Aborted e -> Fmt.pf ppf "aborted by verification check: %a" pp_error e
+  | Fault e -> Fmt.pf ppf "runtime fault: %a" pp_error e
+  | Deadlock blocked ->
+      Fmt.pf ppf "deadlock:@\n%a"
+        (Fmt.list ~sep:Fmt.cut (fun ppf s -> Fmt.pf ppf "  %s" s))
+        blocked
+  | Step_limit -> Fmt.string ppf "step limit exceeded"
+
+let outcome_to_string o = Fmt.str "%a" pp_outcome o
+
+(** Execute [program] (already validated).  @raise Invalid_argument if the
+    entry function is missing or takes parameters. *)
+let run ?(config = default_config) (program : Ast.program) =
+  let entry =
+    match Ast.find_func program config.entry with
+    | Some f -> f
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Sim.run: no entry function '%s'" config.entry)
+  in
+  if entry.Ast.params <> [] then
+    invalid_arg "Sim.run: the entry function must take no parameters";
+  let st =
+    {
+      config;
+      program;
+      engine = Mpisim.Engine.create ~nranks:config.nranks;
+      mailbox = Mpisim.Mailbox.create ~nranks:config.nranks;
+      criticals = Array.init config.nranks (fun _ -> Ompsim.Critical.create ());
+      counters = Hashtbl.create 16;
+      uids = Stmt_tbl.create 64;
+      next_uid = 0;
+      tasks = [];
+      task_tbl = Hashtbl.create 64;
+      next_task_id = 0;
+      stats =
+        {
+          steps = 0;
+          work = 0;
+          counter_checks = 0;
+          cc_calls = 0;
+          tasks_spawned = 0;
+          trace = [];
+          degrees = [];
+        };
+    }
+  in
+  for rank = 0 to config.nranks - 1 do
+    ignore
+      (spawn st ~rank ~tid:0 ~team:None
+         ~konts:[ Task.Kseq (entry.Ast.body, Env.empty) ])
+  done;
+  let rng =
+    match config.schedule with
+    | `Random seed -> Some (Random.State.make [| seed |])
+    | `Round_robin | `Scripted _ -> None
+  in
+  let script =
+    ref (match config.schedule with `Scripted l -> l | _ -> [])
+  in
+  let cursor = ref 0 in
+  let pick () =
+    let runnable = List.filter Task.is_runnable st.tasks in
+    match runnable with
+    | [] -> None
+    | _ -> (
+        let n = List.length runnable in
+        if st.stats.steps < 64 then st.stats.degrees <- n :: st.stats.degrees;
+        match (rng, !script) with
+        | Some rng, _ -> Some (List.nth runnable (Random.State.int rng n))
+        | None, choice :: rest ->
+            script := rest;
+            Some (List.nth runnable (((choice mod n) + n) mod n))
+        | None, [] ->
+            (* Round-robin over the task list. *)
+            let t = List.nth runnable (!cursor mod n) in
+            incr cursor;
+            Some t)
+  in
+  let outcome =
+    try
+      let rec loop () =
+        if st.stats.steps >= config.max_steps then Step_limit
+        else
+          match pick () with
+          | Some task ->
+              st.stats.steps <- st.stats.steps + 1;
+              step st task;
+              loop ()
+          | None ->
+              if List.for_all (fun t -> t.Task.status = Task.Finished) st.tasks
+              then Finished
+              else
+                Deadlock
+                  (List.filter_map
+                     (fun t ->
+                       match t.Task.status with
+                       | Task.Blocked _ -> Some (Task.describe t)
+                       | Task.Runnable | Task.Finished -> None)
+                     st.tasks)
+      in
+      loop ()
+    with Abort_exn o -> o
+  in
+  { outcome; stats = st.stats; engine = st.engine }
+
+(** Trace of [print] events in execution order. *)
+let trace (result : result) = List.rev result.stats.trace
+
+let is_finished result = result.outcome = Finished
+
+let is_clean_abort result =
+  match result.outcome with Aborted _ -> true | _ -> false

@@ -1,0 +1,77 @@
+(** The hybrid MPI+OpenMP execution simulator: executes a validated
+    program on simulated ranks×threads with a seeded scheduler, so
+    interleavings (and the bugs that depend on them) are reproducible.
+
+    Outcome taxonomy: [Aborted] — an instrumentation check stopped the
+    program cleanly before the faulty collective (the paper's §3 goal);
+    [Fault] — the error reached the simulated MPI library; [Deadlock] —
+    no task can run. *)
+
+type error =
+  | Mismatch of Mpisim.Engine.rank_call list
+  | Cc_divergence of Mpisim.Engine.rank_call list
+  | Concurrent_collective of { rank : int; site1 : string; site2 : string }
+  | Concurrent_region of { rank : int; region : int; site : string }
+  | Multithreaded_region of { rank : int; site : string }
+  | Eval_error of { rank : int; site : string; message : string }
+  | Level_violation of {
+      rank : int;
+      site : string;
+      required : Mpisim.Thread_level.t;
+      provided : Mpisim.Thread_level.t;
+    }
+
+type outcome =
+  | Finished
+  | Aborted of error  (** Clean stop by a verification check. *)
+  | Fault of error  (** The error reached the MPI library. *)
+  | Deadlock of string list  (** Descriptions of the blocked tasks. *)
+  | Step_limit
+
+type stats = {
+  mutable steps : int;
+  mutable work : int;  (** Total [compute] cost executed. *)
+  mutable counter_checks : int;
+  mutable cc_calls : int;
+  mutable tasks_spawned : int;
+  mutable trace : (int * int * int) list;  (** (rank, tid, value), reversed. *)
+  mutable degrees : int list;
+      (** Runnable-task counts at the first scheduling steps (reversed,
+          capped at 64): the branching structure {!Explore} enumerates. *)
+}
+
+type result = { outcome : outcome; stats : stats; engine : Mpisim.Engine.t }
+
+type config = {
+  nranks : int;
+  default_nthreads : int;  (** Team size when [num_threads] is absent. *)
+  schedule : [ `Round_robin | `Random of int | `Scripted of int list ];
+      (** [`Scripted choices]: at step [k] pick the [choices[k]]-th runnable
+          task (modulo the runnable count); round-robin after the script
+          runs out. *)
+  max_steps : int;
+  entry : string;
+  record_trace : bool;
+  thread_level : Mpisim.Thread_level.t;
+      (** Level the simulated MPI library was initialised with. *)
+}
+
+val default_config : config
+
+val pp_error : error Fmt.t
+
+val pp_outcome : outcome Fmt.t
+
+val outcome_to_string : outcome -> string
+
+(** Execute a validated program.
+    @raise Invalid_argument if the entry function is missing or takes
+    parameters. *)
+val run : ?config:config -> Minilang.Ast.program -> result
+
+(** Trace of [print] events in execution order: (rank, tid, value). *)
+val trace : result -> (int * int * int) list
+
+val is_finished : result -> bool
+
+val is_clean_abort : result -> bool

@@ -1,0 +1,103 @@
+(** Tasks: one per MPI rank initially, plus one per thread forked at each
+    [parallel] construct.  A task carries a continuation stack; the
+    scheduler advances one task by one small step at a time, which makes
+    thread interleavings (and the bugs that depend on them) schedulable and
+    reproducible. *)
+
+type kont =
+  | Kseq of Minilang.Ast.block * Env.t
+      (** Remaining statements of a block with their environment. *)
+  | Kwhile of Minilang.Ast.expr * Minilang.Ast.block * Env.t
+  | Kfor of {
+      var : string;
+      mutable current : int;
+      stop : int;
+      body : Minilang.Ast.block;
+      env : Env.t;
+    }  (** Counted loop; also used for a thread's chunk of an [omp for]. *)
+  | Kcall_return  (** Function frame marker popped by [return]. *)
+  | Kenter_single
+      (** Increment the single-nesting depth (executor entering a
+          [single]/[master] body or a [section]). *)
+  | Kexit_single of { team : Ompsim.Team.t option; nowait : bool }
+      (** Decrement the depth; with a team and not [nowait], take part in
+          the construct's implicit barrier. *)
+  | Kexit_ws of { team : Ompsim.Team.t option; nowait : bool }
+      (** End of a worksharing construct ([for]/[sections]): implicit
+          barrier unless [nowait]. *)
+  | Kcritical_end of string  (** Release the named critical lock. *)
+  | Kreduce_combine of {
+      op : Minilang.Ast.reduce_op;
+      shared : Env.cell;
+      private_ : Env.cell;
+    }
+      (** End of a thread's chunk of a [reduction] worksharing loop:
+          fold the private accumulator into the shared variable. *)
+
+type block_reason =
+  | At_collective of { site : string; coll : string }
+  | At_barrier of { site : string }
+  | At_join  (** Forker waiting for its team to finish. *)
+  | At_critical of { name : string; site : string }
+  | At_recv of { src : int; tag : int; site : string }
+      (** Blocking receive with no matching message yet. *)
+
+type status = Runnable | Blocked of block_reason | Finished
+
+type t = {
+  id : int;  (** Cookie used by the engine, barriers and locks. *)
+  rank : int;
+  tid : int;  (** Thread number in the innermost team (0 if sequential). *)
+  team : Ompsim.Team.t option;
+  mutable konts : kont list;
+  mutable status : status;
+  mutable single_depth : int;
+      (** Number of enclosing single-threaded bodies this task is currently
+          executing as the designated thread. *)
+  mutable wait_cell : Env.cell option;
+      (** Cell to store a collective result into upon release. *)
+  encounters : (int, int) Hashtbl.t;
+      (** Per-construct dynamic instance counters (for [single]
+          arbitration). *)
+}
+
+let make ~id ~rank ~tid ~team ~konts =
+  {
+    id;
+    rank;
+    tid;
+    team;
+    konts;
+    status = Runnable;
+    single_depth = 0;
+    wait_cell = None;
+    encounters = Hashtbl.create 8;
+  }
+
+(** Next dynamic instance index of construct [uid] for this task. *)
+let next_instance t uid =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.encounters uid) in
+  Hashtbl.replace t.encounters uid (n + 1);
+  n
+
+let team_size t = match t.team with None -> 1 | Some tm -> tm.Ompsim.Team.size
+
+let is_runnable t = t.status = Runnable
+
+let describe_block_reason = function
+  | At_collective { site; coll } -> Printf.sprintf "in %s at %s" coll site
+  | At_barrier { site } -> Printf.sprintf "at barrier (%s)" site
+  | At_join -> "joining its parallel region"
+  | At_critical { name; site } ->
+      Printf.sprintf "waiting for critical(%s) at %s" name site
+  | At_recv { src; tag; site } ->
+      Printf.sprintf "in MPI_Recv(src=%s, tag=%d) at %s"
+        (if src < 0 then "ANY" else string_of_int src)
+        tag site
+
+let describe t =
+  Printf.sprintf "rank %d thread %d%s" t.rank t.tid
+    (match t.status with
+    | Blocked r -> " " ^ describe_block_reason r
+    | Runnable -> " (runnable)"
+    | Finished -> " (finished)")

@@ -1,0 +1,59 @@
+(** Tasks: one per MPI rank, plus one per thread forked at each
+    [parallel] construct.  A task carries a continuation stack; the
+    scheduler advances one task by one small step at a time. *)
+
+type kont =
+  | Kseq of Minilang.Ast.block * Env.t
+  | Kwhile of Minilang.Ast.expr * Minilang.Ast.block * Env.t
+  | Kfor of {
+      var : string;
+      mutable current : int;
+      stop : int;
+      body : Minilang.Ast.block;
+      env : Env.t;
+    }
+  | Kcall_return
+  | Kenter_single
+  | Kexit_single of { team : Ompsim.Team.t option; nowait : bool }
+  | Kexit_ws of { team : Ompsim.Team.t option; nowait : bool }
+  | Kcritical_end of string
+  | Kreduce_combine of {
+      op : Minilang.Ast.reduce_op;
+      shared : Env.cell;
+      private_ : Env.cell;
+    }
+
+type block_reason =
+  | At_collective of { site : string; coll : string }
+  | At_barrier of { site : string }
+  | At_join
+  | At_critical of { name : string; site : string }
+  | At_recv of { src : int; tag : int; site : string }
+
+type status = Runnable | Blocked of block_reason | Finished
+
+type t = {
+  id : int;  (** Cookie used by the engine, barriers and locks. *)
+  rank : int;
+  tid : int;
+  team : Ompsim.Team.t option;
+  mutable konts : kont list;
+  mutable status : status;
+  mutable single_depth : int;
+  mutable wait_cell : Env.cell option;
+  encounters : (int, int) Hashtbl.t;
+}
+
+val make :
+  id:int -> rank:int -> tid:int -> team:Ompsim.Team.t option -> konts:kont list -> t
+
+(** Next dynamic instance index of construct [uid] for this task. *)
+val next_instance : t -> int -> int
+
+val team_size : t -> int
+
+val is_runnable : t -> bool
+
+val describe_block_reason : block_reason -> string
+
+val describe : t -> string

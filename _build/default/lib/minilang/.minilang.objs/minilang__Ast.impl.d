@@ -1,0 +1,1 @@
+lib/minilang/ast.ml: List Loc Option String

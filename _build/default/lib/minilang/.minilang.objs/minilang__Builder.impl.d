@@ -1,0 +1,1 @@
+lib/minilang/builder.ml: Ast List Loc String

@@ -1,0 +1,1 @@
+lib/minilang/builder.mli: Ast Loc

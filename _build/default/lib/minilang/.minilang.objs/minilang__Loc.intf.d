@@ -1,0 +1,1 @@
+lib/minilang/loc.mli: Fmt

@@ -1,0 +1,1 @@
+lib/minilang/parser.ml: Array Ast Lexer List Loc Printf String

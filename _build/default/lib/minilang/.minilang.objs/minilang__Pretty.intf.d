@@ -1,0 +1,1 @@
+lib/minilang/pretty.mli: Ast Fmt

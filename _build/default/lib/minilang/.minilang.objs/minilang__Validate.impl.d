@@ -1,0 +1,1 @@
+lib/minilang/validate.ml: Ast Fmt List Loc Option Printf String

@@ -1,0 +1,1 @@
+lib/minilang/validate.mli: Ast Fmt Loc

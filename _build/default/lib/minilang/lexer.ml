@@ -1,0 +1,287 @@
+(** Hand-written lexer for the mini-language surface syntax.
+
+    Supports [//] line comments, [/* ... */] block comments, and an optional
+    [#] before [pragma] so that sources can look like real OpenMP code. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | FUNC
+  | VAR
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | TO
+  | RETURN
+  | PRAGMA
+  | OMP
+  | PARALLEL
+  | SINGLE
+  | MASTER
+  | CRITICAL
+  | BARRIER
+  | SECTIONS
+  | SECTION
+  | NUM_THREADS
+  | NOWAIT
+  | REDUCTION
+  | COLON
+  | TRUE
+  | FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | FUNC -> "func"
+  | VAR -> "var"
+  | IF -> "if"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | FOR -> "for"
+  | TO -> "to"
+  | RETURN -> "return"
+  | PRAGMA -> "pragma"
+  | OMP -> "omp"
+  | PARALLEL -> "parallel"
+  | SINGLE -> "single"
+  | MASTER -> "master"
+  | CRITICAL -> "critical"
+  | BARRIER -> "barrier"
+  | SECTIONS -> "sections"
+  | SECTION -> "section"
+  | NUM_THREADS -> "num_threads"
+  | NOWAIT -> "nowait"
+  | REDUCTION -> "reduction"
+  | COLON -> ":"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQEQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+exception Lex_error of Loc.t * string
+
+let keyword_table =
+  [
+    ("func", FUNC);
+    ("var", VAR);
+    ("if", IF);
+    ("else", ELSE);
+    ("while", WHILE);
+    ("for", FOR);
+    ("to", TO);
+    ("return", RETURN);
+    ("pragma", PRAGMA);
+    ("omp", OMP);
+    ("parallel", PARALLEL);
+    ("single", SINGLE);
+    ("master", MASTER);
+    ("critical", CRITICAL);
+    ("barrier", BARRIER);
+    ("sections", SECTIONS);
+    ("section", SECTION);
+    ("num_threads", NUM_THREADS);
+    ("nowait", NOWAIT);
+    ("reduction", REDUCTION);
+    ("true", TRUE);
+    ("false", FALSE);
+  ]
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_state ~file src = { src; file; pos = 0; line = 1; col = 1 }
+
+let loc_of st = Loc.make ~file:st.file ~line:st.line ~col:st.col
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '#' ->
+      (* Allow '#pragma': skip the '#', the keyword follows. *)
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = loc_of st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            to_close ()
+        | None, _ -> raise (Lex_error (start, "unterminated block comment"))
+      in
+      to_close ();
+      skip_ws_and_comments st
+  | Some _ | None -> ()
+
+(** Next token with its starting location. *)
+let next_token st : token * Loc.t =
+  skip_ws_and_comments st;
+  let loc = loc_of st in
+  match peek st with
+  | None -> (EOF, loc)
+  | Some c when is_digit c ->
+      let start = st.pos in
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      (INT (int_of_string (String.sub st.src start (st.pos - start))), loc)
+  | Some c when is_ident_start c ->
+      let start = st.pos in
+      while (match peek st with Some c -> is_ident_char c | None -> false) do
+        advance st
+      done;
+      let word = String.sub st.src start (st.pos - start) in
+      let tok =
+        match List.assoc_opt word keyword_table with
+        | Some t -> t
+        | None -> IDENT word
+      in
+      (tok, loc)
+  | Some '"' ->
+      advance st;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        match peek st with
+        | Some '"' -> advance st
+        | Some c ->
+            Buffer.add_char buf c;
+            advance st;
+            scan ()
+        | None -> raise (Lex_error (loc, "unterminated string literal"))
+      in
+      scan ();
+      (STRING (Buffer.contents buf), loc)
+  | Some c ->
+      let two tok =
+        advance st;
+        advance st;
+        (tok, loc)
+      in
+      let one tok =
+        advance st;
+        (tok, loc)
+      in
+      (match (c, peek2 st) with
+      | '=', Some '=' -> two EQEQ
+      | '=', _ -> one ASSIGN
+      | '!', Some '=' -> two NE
+      | '!', _ -> one BANG
+      | '<', Some '=' -> two LE
+      | '<', _ -> one LT
+      | '>', Some '=' -> two GE
+      | '>', _ -> one GT
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ',', _ -> one COMMA
+      | ':', _ -> one COLON
+      | ';', _ -> one SEMI
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | _ ->
+          raise
+            (Lex_error (loc, Printf.sprintf "unexpected character %C" c)))
+
+(** Tokenise a whole source string. *)
+let tokenize ~file src =
+  let st = make_state ~file src in
+  let rec loop acc =
+    let tok, loc = next_token st in
+    match tok with
+    | EOF -> List.rev ((EOF, loc) :: acc)
+    | _ -> loop ((tok, loc) :: acc)
+  in
+  loop []

@@ -1,0 +1,61 @@
+(** Hand-written lexer for the mini-language: [//] and [/* */] comments,
+    an optional [#] before [pragma], C-like operators, integer and string
+    literals. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | FUNC
+  | VAR
+  | IF
+  | ELSE
+  | WHILE
+  | FOR
+  | TO
+  | RETURN
+  | PRAGMA
+  | OMP
+  | PARALLEL
+  | SINGLE
+  | MASTER
+  | CRITICAL
+  | BARRIER
+  | SECTIONS
+  | SECTION
+  | NUM_THREADS
+  | NOWAIT
+  | REDUCTION
+  | COLON
+  | TRUE
+  | FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val token_to_string : token -> string
+
+exception Lex_error of Loc.t * string
+
+(** Tokenise a whole source string; the result ends with [EOF].
+    @raise Lex_error on malformed input. *)
+val tokenize : file:string -> string -> (token * Loc.t) list

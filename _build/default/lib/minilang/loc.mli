@@ -1,0 +1,26 @@
+(** Source locations, carried by every AST node so warnings and runtime
+    aborts can point at the offending line. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based; 0 when unknown. *)
+  col : int;  (** 1-based; 0 when unknown. *)
+}
+
+(** The unknown location, used for synthesised nodes. *)
+val none : t
+
+(** Location for programs built with {!Builder} rather than parsed. *)
+val builder : t
+
+val make : file:string -> line:int -> col:int -> t
+
+val is_none : t -> bool
+
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

@@ -1,0 +1,1 @@
+lib/mpisim/coll.ml: Array Fmt Op Option

@@ -1,0 +1,1 @@
+lib/mpisim/engine.ml: Array Coll Fmt List Op Option

@@ -1,0 +1,1 @@
+lib/mpisim/mailbox.ml: Array Printf Queue

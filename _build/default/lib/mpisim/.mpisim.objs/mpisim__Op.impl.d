@@ -1,0 +1,1 @@
+lib/mpisim/op.ml: Fmt List Stdlib

@@ -1,0 +1,1 @@
+lib/mpisim/thread_level.ml: Fmt Int

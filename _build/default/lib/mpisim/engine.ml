@@ -1,0 +1,170 @@
+(** The collective matching engine of the simulated MPI runtime.
+
+    One engine instance models MPI_COMM_WORLD of a job with [nranks]
+    processes.  Each process owns a single collective "slot": MPI forbids
+    two concurrent collectives on the same communicator from one process,
+    so a second arrival from a rank whose slot is full is precisely the
+    hybrid-programming error the paper targets (non-synchronized threads
+    both reaching collectives), and is reported as such.
+
+    When every rank has arrived, the engine validates that all calls have
+    the same signature (collective kind, reduction operator, root) — a
+    MUST-style matching check — and, for the PARCOACH [CC]
+    pseudo-collective, that all colours agree.  On success it computes the
+    per-rank results and releases the callers. *)
+
+type rank_call = {
+  rank : int;
+  cookie : int;  (** Caller identifier, returned on completion so the
+                     scheduler can unblock the right task. *)
+  call : Coll.call;
+}
+
+type outcome =
+  | Completed of { calls : rank_call list; results : int array }
+      (** All ranks matched; [results.(r)] is rank [r]'s received value. *)
+  | Mismatch of rank_call list
+      (** Ranks arrived with different signatures: a collective mismatch
+          (error compiled programs would deadlock or corrupt on). *)
+  | Cc_divergence of rank_call list
+      (** The CC agreement check found diverging colours: the instrumented
+          program aborts cleanly before the faulty collective executes. *)
+
+type arrive_result =
+  | Waiting  (** The caller must block until the collective completes. *)
+  | Busy_rank of { pending_site : string; pending_kind : Coll.kind }
+      (** The rank already has a collective in flight: concurrent collective
+          calls from non-synchronized threads. *)
+
+type stats = {
+  mutable completed : int;
+  mutable cc_checks : int;
+  mutable by_kind : (Coll.kind * int) list;
+}
+
+(** One recorded collective arrival, for post-mortem trace checking
+    (MUST/Marmot-style tools consume exactly such per-rank streams). *)
+type trace_event = {
+  signature : Coll.kind * Op.t option * int option;
+  payload : int;
+  event_site : string;
+}
+
+type t = {
+  nranks : int;
+  slots : rank_call option array;
+  mutable history : Coll.kind list;  (** Completed collectives, reversed. *)
+  traces : trace_event list array;  (** Per-rank arrival streams, reversed. *)
+  stats : stats;
+}
+
+let create ~nranks =
+  if nranks <= 0 then invalid_arg "Engine.create: nranks must be positive";
+  {
+    nranks;
+    slots = Array.make nranks None;
+    history = [];
+    traces = Array.make nranks [];
+    stats = { completed = 0; cc_checks = 0; by_kind = [] };
+  }
+
+let nranks t = t.nranks
+
+(** Pending arrivals, for deadlock diagnostics. *)
+let pending t =
+  Array.to_list t.slots |> List.filter_map (fun x -> x)
+
+let rank_waiting t rank = t.slots.(rank) <> None
+
+let arrive t ~rank ~cookie call =
+  if rank < 0 || rank >= t.nranks then invalid_arg "Engine.arrive: bad rank";
+  match t.slots.(rank) with
+  | Some prev ->
+      Busy_rank
+        {
+          pending_site = prev.call.Coll.site;
+          pending_kind = prev.call.Coll.kind;
+        }
+  | None ->
+      t.slots.(rank) <- Some { rank; cookie; call };
+      if call.Coll.kind <> Coll.Cc_check then
+        t.traces.(rank) <-
+          {
+            signature = Coll.signature call;
+            payload = call.Coll.payload;
+            event_site = call.Coll.site;
+          }
+          :: t.traces.(rank);
+      Waiting
+
+let bump_kind stats kind =
+  let count = Option.value ~default:0 (List.assoc_opt kind stats.by_kind) in
+  stats.by_kind <- (kind, count + 1) :: List.remove_assoc kind stats.by_kind
+
+(** If every rank has arrived, match and complete the collective.  The
+    slots are cleared whatever the verdict, so the scheduler can abort or
+    resume cleanly. *)
+let try_complete t =
+  let all_present = Array.for_all (fun s -> s <> None) t.slots in
+  if not all_present then None
+  else begin
+    let calls =
+      Array.to_list t.slots |> List.filter_map (fun x -> x)
+    in
+    Array.fill t.slots 0 t.nranks None;
+    let sigs = List.map (fun rc -> Coll.signature rc.call) calls in
+    let first_sig = List.hd sigs in
+    if not (List.for_all (fun s -> s = first_sig) sigs) then
+      Some (Mismatch calls)
+    else
+      let kind = (List.hd calls).call.Coll.kind in
+      if kind = Coll.Cc_check then begin
+        t.stats.cc_checks <- t.stats.cc_checks + 1;
+        let colors = List.map (fun rc -> rc.call.Coll.payload) calls in
+        let first = List.hd colors in
+        if List.for_all (fun c -> c = first) colors then begin
+          let results = Array.make t.nranks 0 in
+          Some (Completed { calls; results })
+        end
+        else Some (Cc_divergence calls)
+      end
+      else begin
+        let contributions = Array.make t.nranks 0 in
+        List.iter
+          (fun rc -> contributions.(rc.rank) <- rc.call.Coll.payload)
+          calls;
+        let model = (List.hd calls).call in
+        let results =
+          Array.init t.nranks (fun rank ->
+              Coll.result_for model ~rank ~contributions)
+        in
+        t.stats.completed <- t.stats.completed + 1;
+        bump_kind t.stats kind;
+        t.history <- kind :: t.history;
+        Some (Completed { calls; results })
+      end
+  end
+
+(** Completed (non-CC) collectives in execution order. *)
+let history t = List.rev t.history
+
+(** The recorded arrival stream of [rank], in program order.  CC checks
+    are tool-internal and excluded. *)
+let rank_trace t rank = List.rev t.traces.(rank)
+
+(** All per-rank traces, indexed by rank. *)
+let all_traces t = Array.init t.nranks (fun rank -> rank_trace t rank)
+
+let completed_count t = t.stats.completed
+
+let cc_check_count t = t.stats.cc_checks
+
+let count_by_kind t kind =
+  Option.value ~default:0 (List.assoc_opt kind t.stats.by_kind)
+
+let pp_rank_call ppf rc =
+  Fmt.pf ppf "rank %d: %a" rc.rank Coll.pp_call rc.call
+
+(** Human-readable description of a mismatch or CC divergence. *)
+let describe_divergence calls =
+  Fmt.str "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_rank_call) calls

@@ -1,0 +1,71 @@
+(** The collective matching engine of the simulated MPI runtime: one
+    instance models MPI_COMM_WORLD.  Each rank owns a single collective
+    slot (MPI forbids concurrent collectives on one communicator from one
+    process); when every rank has arrived the engine validates the
+    signatures (MUST-style matching) — and, for [Cc_check], the colour
+    agreement — then computes per-rank results. *)
+
+type rank_call = {
+  rank : int;
+  cookie : int;  (** Caller id returned on completion (scheduler task). *)
+  call : Coll.call;
+}
+
+type outcome =
+  | Completed of { calls : rank_call list; results : int array }
+  | Mismatch of rank_call list
+      (** Different signatures met: the collective-mismatch error. *)
+  | Cc_divergence of rank_call list
+      (** The CC agreement found diverging colours: clean abort. *)
+
+type arrive_result =
+  | Waiting
+  | Busy_rank of { pending_site : string; pending_kind : Coll.kind }
+      (** The rank already has a collective in flight: concurrent
+          collective calls from non-synchronized threads. *)
+
+(** One recorded arrival, for post-mortem trace checking. *)
+type trace_event = {
+  signature : Coll.kind * Op.t option * int option;
+  payload : int;
+  event_site : string;
+}
+
+type t
+
+(** @raise Invalid_argument if [nranks <= 0]. *)
+val create : nranks:int -> t
+
+val nranks : t -> int
+
+(** Pending arrivals, for deadlock diagnostics. *)
+val pending : t -> rank_call list
+
+val rank_waiting : t -> int -> bool
+
+(** @raise Invalid_argument on an out-of-range rank. *)
+val arrive : t -> rank:int -> cookie:int -> Coll.call -> arrive_result
+
+(** If every rank has arrived, match and complete the collective; slots
+    are cleared whatever the verdict. *)
+val try_complete : t -> outcome option
+
+(** Completed (non-CC) collectives in execution order. *)
+val history : t -> Coll.kind list
+
+(** Arrival stream of one rank in program order (CC checks excluded). *)
+val rank_trace : t -> int -> trace_event list
+
+(** All per-rank traces, indexed by rank. *)
+val all_traces : t -> trace_event list array
+
+val completed_count : t -> int
+
+val cc_check_count : t -> int
+
+val count_by_kind : t -> Coll.kind -> int
+
+val pp_rank_call : rank_call Fmt.t
+
+(** Human-readable description of a mismatch or CC divergence. *)
+val describe_divergence : rank_call list -> string

@@ -1,0 +1,40 @@
+(** MPI-2 thread levels.
+
+    The level constrains where MPI calls may be placed relative to threads:
+    - [Single]: only one thread exists;
+    - [Funneled]: only the main thread makes MPI calls;
+    - [Serialized]: any thread may call MPI, but one at a time;
+    - [Multiple]: unrestricted concurrent MPI calls (but still at most one
+      {e collective} at a time per communicator and process).
+
+    PARCOACH's phase 1 derives, for each collective call site, the minimal
+    level its placement requires; the simulator enforces the level that the
+    program was initialised with. *)
+
+type t = Single | Funneled | Serialized | Multiple
+
+let to_string = function
+  | Single -> "MPI_THREAD_SINGLE"
+  | Funneled -> "MPI_THREAD_FUNNELED"
+  | Serialized -> "MPI_THREAD_SERIALIZED"
+  | Multiple -> "MPI_THREAD_MULTIPLE"
+
+let of_string = function
+  | "MPI_THREAD_SINGLE" | "single" -> Some Single
+  | "MPI_THREAD_FUNNELED" | "funneled" -> Some Funneled
+  | "MPI_THREAD_SERIALIZED" | "serialized" -> Some Serialized
+  | "MPI_THREAD_MULTIPLE" | "multiple" -> Some Multiple
+  | _ -> None
+
+let rank_of = function Single -> 0 | Funneled -> 1 | Serialized -> 2 | Multiple -> 3
+
+(** [compare a b < 0] iff [a] permits strictly less threading than [b]. *)
+let compare a b = Int.compare (rank_of a) (rank_of b)
+
+(** [includes provided required]: does an MPI library initialised at
+    [provided] accept a call site requiring [required]? *)
+let includes provided required = compare provided required >= 0
+
+let max a b = if compare a b >= 0 then a else b
+
+let pp ppf l = Fmt.string ppf (to_string l)

@@ -1,0 +1,1 @@
+lib/mustlike/overlay.ml: Array Fmt Hashtbl Int List Mpisim Option

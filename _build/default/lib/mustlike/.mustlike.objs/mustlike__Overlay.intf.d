@@ -1,0 +1,1 @@
+lib/mustlike/overlay.mli: Fmt Mpisim

@@ -1,0 +1,1 @@
+lib/ompsim/team.ml: Barrier Hashtbl

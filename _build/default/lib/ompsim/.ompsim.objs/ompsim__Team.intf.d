@@ -1,0 +1,1 @@
+lib/ompsim/team.mli: Barrier Hashtbl

@@ -1,0 +1,38 @@
+(** Team barrier synchronisation state.
+
+    The simulator's scheduler is sequential, so a barrier is a simple
+    rendezvous counter: tasks arrive one at a time; the last arrival
+    releases everyone.  The same barrier object is reused for successive
+    barrier episodes of a team — the counter resets atomically at release,
+    and no waiter can re-arrive before being released. *)
+
+type t = {
+  size : int;
+  mutable arrived : int;
+  mutable waiters : int list;  (** Cookies of blocked tasks, newest first. *)
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Barrier.create: size must be positive";
+  { size; arrived = 0; waiters = [] }
+
+type result =
+  | Wait  (** The caller blocks until the last team member arrives. *)
+  | Release of int list
+      (** The caller was last: all cookies (caller excluded) to unblock. *)
+
+(** [arrive t ~cookie] registers one arrival. *)
+let arrive t ~cookie =
+  t.arrived <- t.arrived + 1;
+  if t.arrived < t.size then begin
+    t.waiters <- cookie :: t.waiters;
+    Wait
+  end
+  else begin
+    let released = t.waiters in
+    t.arrived <- 0;
+    t.waiters <- [];
+    Release released
+  end
+
+let waiting_count t = List.length t.waiters

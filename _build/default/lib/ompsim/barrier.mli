@@ -1,0 +1,17 @@
+(** Team barrier synchronisation state: a rendezvous counter (the
+    simulator's scheduler is sequential, so the last arrival releases
+    everyone atomically); reusable across successive barrier episodes. *)
+
+type t
+
+(** @raise Invalid_argument if [size <= 0]. *)
+val create : size:int -> t
+
+type result =
+  | Wait  (** Block until the last team member arrives. *)
+  | Release of int list
+      (** The caller was last: cookies to unblock (caller excluded). *)
+
+val arrive : t -> cookie:int -> result
+
+val waiting_count : t -> int

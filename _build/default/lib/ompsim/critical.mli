@@ -1,0 +1,20 @@
+(** Named critical-section locks with FIFO wait queues; same-named
+    criticals exclude each other across all teams of a process. *)
+
+(** Reserved name of the anonymous critical. *)
+val anonymous : string
+
+type t
+
+val create : unit -> t
+
+type acquire_result = Acquired | Must_wait
+
+val acquire : t -> name:string -> cookie:int -> acquire_result
+
+(** Frees the lock; returns the next waiter (who then holds it), if any.
+    @raise Invalid_argument if [cookie] does not hold the lock. *)
+val release : t -> name:string -> cookie:int -> int option
+
+(** Cookies blocked on any lock, for deadlock diagnostics. *)
+val blocked : t -> int list

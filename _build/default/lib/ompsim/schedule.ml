@@ -1,0 +1,35 @@
+(** Worksharing schedules.
+
+    Only the static schedule is modelled: deterministic, deadlock-relevant
+    behaviour (who executes which iteration/section) does not depend on
+    timing.  Iterations are split into contiguous chunks, the first
+    [rem] chunks one iteration longer, like [schedule(static)]. *)
+
+(** [chunk ~lo ~hi ~tid ~nthreads] is the half-open iteration range
+    [(start, stop)] thread [tid] executes for a loop over [lo..hi-1]. *)
+let chunk ~lo ~hi ~tid ~nthreads =
+  let total = max 0 (hi - lo) in
+  let base = total / nthreads and rem = total mod nthreads in
+  let start = lo + (tid * base) + min tid rem in
+  let len = base + if tid < rem then 1 else 0 in
+  (start, start + len)
+
+(** [sections_for ~count ~tid ~nthreads] lists the indices of the sections
+    thread [tid] executes, round-robin like a static sections schedule. *)
+let sections_for ~count ~tid ~nthreads =
+  let rec collect i acc =
+    if i >= count then List.rev acc
+    else collect (i + nthreads) (i :: acc)
+  in
+  if tid >= count then [] else collect tid []
+
+(** Every iteration is executed exactly once: property checked in tests. *)
+let covers ~lo ~hi ~nthreads =
+  let all = ref [] in
+  for tid = nthreads - 1 downto 0 do
+    let start, stop = chunk ~lo ~hi ~tid ~nthreads in
+    for i = stop - 1 downto start do
+      all := i :: !all
+    done
+  done;
+  !all

@@ -1,0 +1,12 @@
+(** Static worksharing schedules: deterministic chunking so
+    deadlock-relevant behaviour does not depend on timing. *)
+
+(** Half-open iteration range [(start, stop)] of thread [tid] for a loop
+    over [lo..hi-1], like [schedule(static)]. *)
+val chunk : lo:int -> hi:int -> tid:int -> nthreads:int -> int * int
+
+(** Section indices thread [tid] executes (round-robin). *)
+val sections_for : count:int -> tid:int -> nthreads:int -> int list
+
+(** All iterations in order, each exactly once (property-test helper). *)
+val covers : lo:int -> hi:int -> nthreads:int -> int list

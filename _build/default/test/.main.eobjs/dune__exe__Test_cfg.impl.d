@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Benchsuite Build Cfg Dataflow Dominance Dot Graph Invariants List Loops Minilang Printf String Traversal

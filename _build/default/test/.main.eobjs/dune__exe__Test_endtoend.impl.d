@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Ast Benchsuite Interp List Minilang Mpisim Parcoach Parser Printf Validate

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Explore Interp List Minilang Mpisim Sim

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Ast Benchsuite Driver Instrument Int List Minilang Parcoach Parser Pretty String Validate

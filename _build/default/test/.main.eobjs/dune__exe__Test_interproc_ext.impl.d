@@ -1,0 +1,1 @@
+test/test_interproc_ext.ml: Alcotest Benchsuite Callgraph Driver Instrument Int Interp Interproc List Minilang Mpisim Option Parcoach Pword Warning

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Benchsuite Driver Json_report List Minilang Parcoach String

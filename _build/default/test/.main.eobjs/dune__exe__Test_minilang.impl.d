@@ -1,0 +1,1 @@
+test/test_minilang.ml: Alcotest Ast Benchsuite Int Lexer List Loc Minilang Parser Pretty String Validate

@@ -1,0 +1,1 @@
+test/test_mpisim.ml: Alcotest Array Coll Engine Gen List Mpisim Op Printf QCheck QCheck_alcotest Random String Test Thread_level

@@ -1,0 +1,1 @@
+test/test_mustlike.ml: Alcotest Array Gen Interp List Minilang Mpisim Mustlike Overlay Printf QCheck QCheck_alcotest Test

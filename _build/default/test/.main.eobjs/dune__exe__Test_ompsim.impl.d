@@ -1,0 +1,1 @@
+test/test_ompsim.ml: Alcotest Barrier Critical Gen Int List Ompsim Printf QCheck QCheck_alcotest Schedule Team Test

@@ -1,0 +1,1 @@
+test/test_p2p.ml: Alcotest Cfg Interp List Mailbox Minilang Mpisim Option Parcoach String

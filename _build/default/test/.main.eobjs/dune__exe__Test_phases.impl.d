@@ -1,0 +1,1 @@
+test/test_phases.ml: Alcotest Concurrency Driver Fmt Instrument Interproc List Minilang Monothread Mpisim Parcoach Pword String Warning

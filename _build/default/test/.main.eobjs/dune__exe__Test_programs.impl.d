@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Filename Interp List Minilang Mpisim Mustlike Option Parcoach

@@ -1,0 +1,1 @@
+test/test_pword.ml: Alcotest Array Cfg Gen List Minilang Mpisim Parcoach Printf Pword QCheck QCheck_alcotest String Test

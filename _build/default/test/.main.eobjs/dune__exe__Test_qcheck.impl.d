@@ -1,0 +1,1 @@
+test/test_qcheck.ml: Ast Benchsuite Builder Cfg Char Interp Lexer List Loc Minilang Mpisim Parcoach Parser Pretty QCheck QCheck_alcotest String Test Validate

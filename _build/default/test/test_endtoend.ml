@@ -1,0 +1,319 @@
+(** End-to-end tests: correct programs run to completion with and without
+    instrumentation (with identical results); buggy programs deadlock or
+    fault uninstrumented and abort cleanly instrumented; the benchmark
+    catalog and the error injector compose with the whole pipeline. *)
+
+open Minilang
+
+let parse src = Parser.parse_string ~file:"test" src
+
+let config ?(nranks = 3) ?(threads = 3) ?(seed = 42) () =
+  {
+    Interp.Sim.nranks;
+    default_nthreads = threads;
+    schedule = `Random seed;
+    max_steps = 5_000_000;
+    entry = "main";
+    record_trace = true;
+    thread_level = Mpisim.Thread_level.Multiple;
+  }
+
+let pipeline ?nranks ?threads ?seed program =
+  let report = Parcoach.Driver.analyze program in
+  let instrumented =
+    Parcoach.Instrument.instrument report Parcoach.Instrument.Selective
+  in
+  let cfg = config ?nranks ?threads ?seed () in
+  (report, Interp.Sim.run ~config:cfg program, Interp.Sim.run ~config:cfg instrumented)
+
+(* A correct program must finish in both modes with the same trace. *)
+let correct name ?nranks ?threads src =
+  Alcotest.test_case name `Quick (fun () ->
+      let program = parse src in
+      Alcotest.(check bool) "validates" true
+        (Validate.is_valid (Validate.check_program program));
+      let _, plain, checked = pipeline ?nranks ?threads program in
+      (match plain.Interp.Sim.outcome with
+      | Interp.Sim.Finished -> ()
+      | o ->
+          Alcotest.failf "uninstrumented should finish: %s"
+            (Interp.Sim.outcome_to_string o));
+      (match checked.Interp.Sim.outcome with
+      | Interp.Sim.Finished -> ()
+      | o ->
+          Alcotest.failf "instrumented should finish: %s"
+            (Interp.Sim.outcome_to_string o));
+      (* The global interleaving of prints across ranks is schedule
+         dependent; the per-rank sequences must match exactly. *)
+      let per_rank result rank =
+        List.filter_map
+          (fun (r, t, v) -> if r = rank then Some (t, v) else None)
+          (Interp.Sim.trace result)
+      in
+      let nranks = match nranks with Some n -> n | None -> 3 in
+      for rank = 0 to nranks - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "same print trace on rank %d" rank)
+          true
+          (per_rank plain rank = per_rank checked rank)
+      done)
+
+(* A buggy program: uninstrumented it deadlocks/faults (or survives by
+   scheduling luck); instrumented it must abort cleanly — and must never
+   end in a deadlock or step limit. *)
+let buggy name ?nranks ?threads ~expect_warning src =
+  Alcotest.test_case name `Quick (fun () ->
+      let program = parse src in
+      let report, plain, checked = pipeline ?nranks ?threads program in
+      if expect_warning then
+        Alcotest.(check bool) "has a static warning" true
+          (Parcoach.Driver.warning_count report > 0);
+      (match plain.Interp.Sim.outcome with
+      | Interp.Sim.Fault _ | Interp.Sim.Deadlock _ | Interp.Sim.Finished -> ()
+      | o ->
+          Alcotest.failf "unexpected uninstrumented outcome: %s"
+            (Interp.Sim.outcome_to_string o));
+      match checked.Interp.Sim.outcome with
+      | Interp.Sim.Aborted _ -> ()
+      | Interp.Sim.Finished -> () (* schedule never exhibited the race *)
+      | o ->
+          Alcotest.failf "instrumented should abort cleanly, got: %s"
+            (Interp.Sim.outcome_to_string o))
+
+(* The instrumented run of this program must abort for at least one of the
+   given seeds. *)
+let buggy_eventually name ?nranks ?threads src =
+  Alcotest.test_case name `Quick (fun () ->
+      let program = parse src in
+      let report = Parcoach.Driver.analyze program in
+      let instrumented =
+        Parcoach.Instrument.instrument report Parcoach.Instrument.Selective
+      in
+      let aborted =
+        List.exists
+          (fun seed ->
+            let cfg = config ?nranks ?threads ~seed () in
+            Interp.Sim.is_clean_abort (Interp.Sim.run ~config:cfg instrumented))
+          (List.init 20 (fun i -> i + 1))
+      in
+      Alcotest.(check bool) "aborts for some schedule" true aborted)
+
+let correct_tests =
+  [
+    correct "collectives + worksharing"
+      {|func main() {
+         var x = 0;
+         pragma omp parallel num_threads(3) {
+           pragma omp for i = 0 to 9 { compute(i); }
+           pragma omp single { x = MPI_Allreduce(rank() + 1, sum); }
+         }
+         MPI_Barrier();
+         print(x);
+       }|};
+    correct "if/else with identical collectives (PARCOACH false positive)"
+      {|func main() {
+         var x = 0;
+         if (rank() % 2 == 0) { x = MPI_Allreduce(1, sum); }
+         else { x = MPI_Allreduce(1, sum); }
+         print(x);
+       }|};
+    correct "collective loop with uniform bounds"
+      {|func main() {
+         var total = 0;
+         for it = 0 to 4 {
+           total = MPI_Allreduce(it, sum);
+         }
+         print(total);
+       }|};
+    correct "barrier-separated singles"
+      {|func main() {
+         pragma omp parallel num_threads(3) {
+           pragma omp single { MPI_Barrier(); }
+           pragma omp single { MPI_Allgather(1); }
+         }
+       }|};
+    correct "master communication (funneled pattern)"
+      {|func main() {
+         var x = 0;
+         pragma omp parallel num_threads(3) {
+           compute(5);
+           pragma omp barrier;
+           pragma omp master { x = MPI_Allreduce(1, sum); }
+           pragma omp barrier;
+         }
+         print(x);
+       }|};
+    correct "function calls between collectives"
+      {|func exchange(n) { MPI_Barrier(); compute(n); MPI_Barrier(); }
+        func main() { for i = 0 to 3 { exchange(i); } MPI_Allgather(1); }|};
+    correct "uniform early return"
+      {|func maybe_stop(flag) { if (flag > 0) { MPI_Barrier(); return; } MPI_Allgather(1); }
+        func main() { maybe_stop(1); maybe_stop(0); }|};
+  ]
+
+let buggy_tests =
+  [
+    buggy "rank-divergent collective" ~expect_warning:true
+      {|func main() { if (rank() == 0) { MPI_Barrier(); } MPI_Allgather(1); }|};
+    buggy "rank-divergent collective count in a loop" ~expect_warning:true
+      {|func main() {
+         var n = rank() + 1;
+         var i = 0;
+         while (i < n) { MPI_Barrier(); i = i + 1; }
+       }|};
+    buggy "different collectives on different ranks" ~expect_warning:true
+      {|func main() { if (rank() == 0) { MPI_Barrier(); } else { MPI_Allgather(1); } }|};
+    buggy "collective inside parallel region" ~expect_warning:true
+      {|func main() { pragma omp parallel num_threads(2) { MPI_Barrier(); } }|};
+    buggy "collective inside critical" ~expect_warning:true
+      {|func main() { pragma omp parallel num_threads(2) {
+          pragma omp critical { MPI_Barrier(); } } }|};
+    buggy_eventually "concurrent singles race"
+      {|func main() {
+         pragma omp parallel num_threads(2) {
+           pragma omp single nowait { MPI_Barrier(); }
+           pragma omp single { MPI_Allgather(1); }
+         }
+       }|};
+    buggy_eventually "master and single race"
+      {|func main() {
+         pragma omp parallel num_threads(2) {
+           pragma omp master { MPI_Barrier(); }
+           pragma omp single { MPI_Allgather(1); }
+         }
+       }|};
+  ]
+
+let catalog_tests =
+  List.map
+    (fun (entry : Benchsuite.Catalog.entry) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s: validate, analyse, run instrumented"
+           entry.Benchsuite.Catalog.name)
+        `Slow
+        (fun () ->
+          let program = entry.Benchsuite.Catalog.generate_small () in
+          Alcotest.(check bool) "validates" true
+            (Validate.is_valid (Validate.check_program program));
+          let _, plain, checked = pipeline ~nranks:3 ~threads:2 program in
+          Alcotest.(check bool) "uninstrumented finishes" true
+            (plain.Interp.Sim.outcome = Interp.Sim.Finished);
+          Alcotest.(check bool) "instrumented finishes" true
+            (checked.Interp.Sim.outcome = Interp.Sim.Finished);
+          let per_rank result rank =
+            List.filter_map
+              (fun (r, t, v) -> if r = rank then Some (t, v) else None)
+              (Interp.Sim.trace result)
+          in
+          for rank = 0 to 2 do
+            Alcotest.(check bool) "same results" true
+              (per_rank plain rank = per_rank checked rank)
+          done;
+          (* The big (Figure 1) instance must also validate and analyse. *)
+          let big = entry.Benchsuite.Catalog.generate () in
+          Alcotest.(check bool) "figure-1 instance validates" true
+            (Validate.is_valid (Validate.check_program big));
+          ignore (Parcoach.Driver.analyze big)))
+    Benchsuite.Catalog.all
+
+let injector_tests =
+  [
+    Alcotest.test_case "every bug class is detectable on BT-MZ" `Slow (fun () ->
+        let base = Benchsuite.Npb_mz.bt_mz ~clazz:Benchsuite.Npb_mz.S () in
+        let baseline =
+          Parcoach.Driver.warning_count (Parcoach.Driver.analyze base)
+        in
+        List.iter
+          (fun bug ->
+            let buggy = Benchsuite.Injector.inject bug ~index:2 base in
+            Alcotest.(check bool)
+              (Benchsuite.Injector.bug_name bug ^ " validates")
+              true
+              (Validate.is_valid (Validate.check_program buggy));
+            let report = Parcoach.Driver.analyze buggy in
+            Alcotest.(check bool)
+              (Benchsuite.Injector.bug_name bug ^ " raises warnings")
+              true
+              (Parcoach.Driver.warning_count report > baseline))
+          [
+            Benchsuite.Injector.Rank_divergence;
+            Benchsuite.Injector.Into_parallel;
+            Benchsuite.Injector.Into_sections;
+            Benchsuite.Injector.Operator_mismatch;
+            Benchsuite.Injector.Extra_collective;
+          ]);
+    Alcotest.test_case "rank divergence on HERA aborts cleanly when instrumented"
+      `Slow (fun () ->
+        let base = Benchsuite.Hera.hera ~levels:2 ~packages:2 () in
+        let indices =
+          Benchsuite.Injector.collective_indices_in base ~fname:"hydro_step"
+        in
+        let index = match indices with i :: _ -> i | [] -> 2 in
+        let buggy = Benchsuite.Injector.inject Benchsuite.Injector.Rank_divergence ~index base in
+        let report = Parcoach.Driver.analyze buggy in
+        let instrumented =
+          Parcoach.Instrument.instrument report Parcoach.Instrument.Selective
+        in
+        let result = Interp.Sim.run ~config:(config ~nranks:3 ~threads:2 ()) instrumented in
+        Alcotest.(check bool) "clean abort" true (Interp.Sim.is_clean_abort result));
+    Alcotest.test_case "collective_count and indices agree" `Quick (fun () ->
+        let p = Benchsuite.Epcc.suite ~reps:1 () in
+        let total = Benchsuite.Injector.collective_count p in
+        let by_func =
+          List.concat_map
+            (fun (f : Ast.func) ->
+              Benchsuite.Injector.collective_indices_in p ~fname:f.Ast.fname)
+            p.Ast.funcs
+        in
+        Alcotest.(check int) "sum over functions" total (List.length by_func);
+        Alcotest.(check bool) "out of range rejected" true
+          (match Benchsuite.Injector.inject Benchsuite.Injector.Rank_divergence ~index:total p with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+(* Exhaustive instrumentation must also let correct programs through and
+   catch the buggy ones. *)
+let exhaustive_tests =
+  [
+    Alcotest.test_case "exhaustive mode on a correct benchmark" `Slow (fun () ->
+        let program = Benchsuite.Npb_mz.sp_mz ~clazz:Benchsuite.Npb_mz.S () in
+        let report = Parcoach.Driver.analyze program in
+        let instrumented =
+          Parcoach.Instrument.instrument report Parcoach.Instrument.Exhaustive
+        in
+        let result =
+          Interp.Sim.run ~config:(config ~nranks:3 ~threads:2 ()) instrumented
+        in
+        Alcotest.(check bool) "finishes" true
+          (result.Interp.Sim.outcome = Interp.Sim.Finished));
+    Alcotest.test_case "exhaustive catches a bug selective would miss" `Quick
+      (fun () ->
+        (* The divergence is in a function with no flagged class of its own
+           (the condition is on a parameter, and without taint info the
+           class is flagged — so instead use a clean callee and a buggy
+           uninstrumented caller pattern: selective instruments nothing in
+           'leaf' because its collective is unconditional). *)
+        let src =
+          {|func leaf() { MPI_Barrier(); }
+            func main() { if (rank() == 0) { leaf(); } MPI_Allgather(1); }|}
+        in
+        let program = parse src in
+        let report = Parcoach.Driver.analyze program in
+        let instrumented =
+          Parcoach.Instrument.instrument report Parcoach.Instrument.Exhaustive
+        in
+        let result =
+          Interp.Sim.run ~config:(config ~nranks:2 ~threads:2 ()) instrumented
+        in
+        Alcotest.(check bool) "clean abort" true (Interp.Sim.is_clean_abort result));
+  ]
+
+let suite =
+  [
+    ("endtoend.correct", correct_tests);
+    ("endtoend.buggy", buggy_tests);
+    ("endtoend.catalog", catalog_tests);
+    ("endtoend.injector", injector_tests);
+    ("endtoend.exhaustive", exhaustive_tests);
+  ]

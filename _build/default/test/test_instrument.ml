@@ -1,0 +1,232 @@
+(** Tests for the instrumentation pass: placement rules, selective vs
+    exhaustive modes, check counting, and source round trips of
+    instrumented programs. *)
+
+open Parcoach
+open Minilang
+
+let parse src = Parser.parse_string ~file:"test" src
+
+let instrument ?options mode src =
+  let program = parse src in
+  let report = Driver.analyze ?options program in
+  (report, Instrument.instrument report mode)
+
+let count_checks pred program =
+  List.fold_left
+    (fun acc f ->
+      Ast.fold_stmts
+        (fun acc s ->
+          match s.Ast.sdesc with
+          | Ast.Check c when pred c -> acc + 1
+          | _ -> acc)
+        acc f.Ast.body)
+    0 program.Ast.funcs
+
+let is_cc = function Ast.Cc_next_collective _ -> true | _ -> false
+
+let is_cc_return = function Ast.Cc_return -> true | _ -> false
+
+let is_counter = function
+  | Ast.Count_enter _ | Ast.Count_exit _ -> true
+  | _ -> false
+
+let placement_tests =
+  [
+    Alcotest.test_case "clean program gets no selective instrumentation" `Quick
+      (fun () ->
+        let _, inst =
+          instrument Instrument.Selective
+            "func main() { MPI_Barrier(); MPI_Allgather(1); }"
+        in
+        Alcotest.(check int) "no checks" 0 (count_checks (fun _ -> true) inst));
+    Alcotest.test_case "flagged function: CC before every collective" `Quick
+      (fun () ->
+        let _, inst =
+          instrument Instrument.Selective
+            {|func main() { MPI_Allgather(1); if (rank() == 0) { MPI_Barrier(); } }|}
+        in
+        Alcotest.(check int) "two CC" 2 (count_checks is_cc inst);
+        Alcotest.(check int) "one return check" 1 (count_checks is_cc_return inst));
+    Alcotest.test_case "CC is inserted immediately before its collective"
+      `Quick (fun () ->
+        let _, inst =
+          instrument Instrument.Selective
+            "func main() { if (rank() == 0) { MPI_Barrier(); } }"
+        in
+        let f = Ast.main_func inst in
+        let ok = ref false in
+        let rec scan = function
+          | { Ast.sdesc = Ast.Check (Ast.Cc_next_collective { coll_name; _ }); _ }
+            :: { Ast.sdesc = Ast.Coll (_, c); _ }
+            :: rest ->
+              if String.equal coll_name (Ast.collective_name c) then ok := true;
+              scan rest
+          | { Ast.sdesc = Ast.If (_, bt, bf); _ } :: rest ->
+              scan bt;
+              scan bf;
+              scan rest
+          | _ :: rest -> scan rest
+          | [] -> ()
+        in
+        scan f.Ast.body;
+        Alcotest.(check bool) "adjacent pair found" true !ok);
+    Alcotest.test_case "cc_return is wrapped in a single pragma" `Quick
+      (fun () ->
+        let _, inst =
+          instrument Instrument.Selective
+            "func main() { if (rank() == 0) { MPI_Barrier(); } }"
+        in
+        let f = Ast.main_func inst in
+        let wrapped = ref false in
+        List.iter
+          (fun s ->
+            match s.Ast.sdesc with
+            | Ast.Omp_single { body = [ { Ast.sdesc = Ast.Check Ast.Cc_return; _ } ]; _ }
+              ->
+                wrapped := true
+            | _ -> ())
+          f.Ast.body;
+        Alcotest.(check bool) "wrapped" true !wrapped);
+    Alcotest.test_case "phase-1 collectives get per-site counters" `Quick
+      (fun () ->
+        let _, inst =
+          instrument Instrument.Selective
+            "func main() { pragma omp parallel { MPI_Barrier(); } }"
+        in
+        Alcotest.(check int) "enter+exit" 2 (count_checks is_counter inst));
+    Alcotest.test_case "phase-2 groups share one counter id" `Quick (fun () ->
+        let _, inst =
+          instrument Instrument.Selective
+            {|func main() { pragma omp parallel {
+                pragma omp single nowait { MPI_Barrier(); }
+                pragma omp single { MPI_Allgather(1); } } }|}
+        in
+        let ids = ref [] in
+        List.iter
+          (fun f ->
+            ignore
+              (Ast.fold_stmts
+                 (fun () s ->
+                   match s.Ast.sdesc with
+                   | Ast.Check (Ast.Count_enter { region }) ->
+                       ids := region :: !ids
+                   | _ -> ())
+                 () f.Ast.body))
+          inst.Ast.funcs;
+        Alcotest.(check int) "two enters" 2 (List.length !ids);
+        Alcotest.(check int) "same group id" 1
+          (List.length (List.sort_uniq Int.compare !ids)));
+    Alcotest.test_case "return statements get a preceding cc_return" `Quick
+      (fun () ->
+        let _, inst =
+          instrument Instrument.Selective
+            {|func main() {
+               if (rank() == 0) { MPI_Barrier(); }
+               if (size() > 2) { return; }
+               MPI_Barrier();
+             }|}
+        in
+        (* one before the return + one at the end of the body *)
+        Alcotest.(check int) "two return checks" 2 (count_checks is_cc_return inst));
+  ]
+
+let mode_tests =
+  [
+    Alcotest.test_case "exhaustive instruments every collective" `Quick
+      (fun () ->
+        let src =
+          {|func a() { MPI_Barrier(); } func main() { a(); MPI_Allgather(1); MPI_Barrier(); }|}
+        in
+        let _, inst = instrument Instrument.Exhaustive src in
+        Alcotest.(check int) "three CC" 3 (count_checks is_cc inst);
+        Alcotest.(check int) "counters around all" 6 (count_checks is_counter inst);
+        Alcotest.(check int) "return checks everywhere" 2
+          (count_checks is_cc_return inst));
+    Alcotest.test_case "selective inserts a subset of exhaustive" `Quick
+      (fun () ->
+        List.iter
+          (fun (entry : Benchsuite.Catalog.entry) ->
+            let program = entry.Benchsuite.Catalog.generate_small () in
+            let report = Driver.analyze program in
+            let sel_cc, sel_cnt, sel_ret =
+              Instrument.check_counts report Instrument.Selective
+            in
+            let exh_cc, exh_cnt, exh_ret =
+              Instrument.check_counts report Instrument.Exhaustive
+            in
+            Alcotest.(check bool)
+              (entry.Benchsuite.Catalog.name ^ " cc subset")
+              true (sel_cc <= exh_cc);
+            Alcotest.(check bool)
+              (entry.Benchsuite.Catalog.name ^ " counters subset")
+              true (sel_cnt <= exh_cnt);
+            Alcotest.(check bool)
+              (entry.Benchsuite.Catalog.name ^ " returns subset")
+              true (sel_ret <= exh_ret))
+          Benchsuite.Catalog.all);
+    Alcotest.test_case "check_counts matches actual insertions" `Quick
+      (fun () ->
+        let src =
+          {|func main() { MPI_Allgather(1); if (rank() == 0) { MPI_Barrier(); } return; }|}
+        in
+        let report, inst = instrument Instrument.Selective src in
+        let cc, counters, returns =
+          Instrument.check_counts report Instrument.Selective
+        in
+        Alcotest.(check int) "cc" (count_checks is_cc inst) cc;
+        Alcotest.(check int) "counters" (count_checks is_counter inst) counters;
+        Alcotest.(check int) "returns" (count_checks is_cc_return inst) returns);
+  ]
+
+let roundtrip_tests =
+  [
+    Alcotest.test_case "instrumented program still validates" `Quick (fun () ->
+        let _, inst =
+          instrument Instrument.Selective
+            {|func main() { pragma omp parallel {
+                pragma omp single nowait { MPI_Barrier(); }
+                pragma omp single { MPI_Allgather(1); } }
+               if (rank() == 0) { MPI_Bcast(1, 0); } }|}
+        in
+        Alcotest.(check bool) "valid" true
+          (Validate.is_valid (Validate.check_program inst)));
+    Alcotest.test_case "instrumented source parses back identically" `Quick
+      (fun () ->
+        let _, inst =
+          instrument Instrument.Exhaustive
+            {|func main() { pragma omp parallel { MPI_Barrier(); }
+               if (rank() == 0) { MPI_Allgather(1); } }|}
+        in
+        let printed = Pretty.program_to_string inst in
+        let reparsed = Parser.parse_string ~file:"round" printed in
+        Alcotest.(check bool) "equal" true (Ast.equal_program inst reparsed));
+    Alcotest.test_case "instrumentation preserves the original statements"
+      `Quick (fun () ->
+        let src = "func main() { if (rank() == 0) { MPI_Barrier(); } compute(3); }" in
+        let program = parse src in
+        let before = Ast.program_size program in
+        let report = Driver.analyze program in
+        let inst = Instrument.instrument report Instrument.Selective in
+        let non_check =
+          List.fold_left
+            (fun acc f ->
+              Ast.fold_stmts
+                (fun acc s ->
+                  match s.Ast.sdesc with
+                  | Ast.Check _ -> acc
+                  | Ast.Omp_single { body = [ { Ast.sdesc = Ast.Check _; _ } ]; _ } ->
+                      acc (* the cc_return wrapper *)
+                  | _ -> acc + 1)
+                acc f.Ast.body)
+            0 inst.Ast.funcs
+        in
+        Alcotest.(check int) "original statements preserved" before non_check);
+  ]
+
+let suite =
+  [
+    ("instrument.placement", placement_tests);
+    ("instrument.modes", mode_tests);
+    ("instrument.roundtrip", roundtrip_tests);
+  ]

@@ -1,0 +1,193 @@
+(** Tests for the MUST-style tree-overlay trace checker. *)
+
+open Mustlike
+
+let ev ?(op = None) ?(root = None) ?(payload = 0) kind site : Mpisim.Engine.trace_event =
+  { signature = (kind, op, root); payload; event_site = site }
+
+let barrier site = ev Mpisim.Coll.Barrier site
+
+let allreduce site = ev ~op:(Some Mpisim.Op.Sum) Mpisim.Coll.Allreduce site
+
+let tree_tests =
+  [
+    Alcotest.test_case "binary tree over 8 ranks has depth 3" `Quick (fun () ->
+        let t = Overlay.build_tree ~fanout:2 ~nranks:8 in
+        Alcotest.(check int) "depth" 3 (Overlay.depth t);
+        Alcotest.(check int) "fan-in" 2 (Overlay.max_fan_in t));
+    Alcotest.test_case "centralized tree has depth 1, fan-in nranks" `Quick
+      (fun () ->
+        let t = Overlay.build_tree ~fanout:16 ~nranks:16 in
+        Alcotest.(check int) "depth" 1 (Overlay.depth t);
+        Alcotest.(check int) "fan-in" 16 (Overlay.max_fan_in t));
+    Alcotest.test_case "single rank tree" `Quick (fun () ->
+        let t = Overlay.build_tree ~fanout:2 ~nranks:1 in
+        Alcotest.(check int) "depth" 1 (Overlay.depth t));
+    Alcotest.test_case "invalid fanout rejected" `Quick (fun () ->
+        match Overlay.build_tree ~fanout:1 ~nranks:4 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let check_tests =
+  [
+    Alcotest.test_case "identical traces match" `Quick (fun () ->
+        let trace = [ barrier "a"; allreduce "b"; barrier "c" ] in
+        let r = Overlay.check [| trace; trace; trace; trace |] in
+        Alcotest.(check bool) "match" true (Overlay.is_match r);
+        (match r.Overlay.verdict with
+        | `Match n -> Alcotest.(check int) "rounds" 3 n
+        | `Divergence _ -> Alcotest.fail "unexpected divergence"));
+    Alcotest.test_case "kind mismatch is localized" `Quick (fun () ->
+        let t1 = [ barrier "a"; allreduce "b" ] in
+        let t2 = [ barrier "a"; barrier "bad" ] in
+        let r = Overlay.check [| t1; t1; t2; t1 |] in
+        match r.Overlay.verdict with
+        | `Divergence d ->
+            Alcotest.(check int) "position" 1 d.Overlay.position;
+            Alcotest.(check bool) "rank 2 in a conflicting group" true
+              (List.exists (fun (_, ranks) -> List.mem 2 ranks) d.Overlay.groups)
+        | `Match _ -> Alcotest.fail "expected divergence");
+    Alcotest.test_case "shorter stream is a divergence" `Quick (fun () ->
+        let t1 = [ barrier "a"; barrier "b" ] in
+        let t2 = [ barrier "a" ] in
+        let r = Overlay.check [| t1; t2 |] in
+        match r.Overlay.verdict with
+        | `Divergence d ->
+            Alcotest.(check int) "position" 1 d.Overlay.position;
+            Alcotest.(check bool) "no-event group present" true
+              (List.mem_assoc "<no event>" d.Overlay.groups)
+        | `Match _ -> Alcotest.fail "expected divergence");
+    Alcotest.test_case "operator mismatch detected" `Quick (fun () ->
+        let t1 = [ ev ~op:(Some Mpisim.Op.Sum) Mpisim.Coll.Allreduce "x" ] in
+        let t2 = [ ev ~op:(Some Mpisim.Op.Max) Mpisim.Coll.Allreduce "x" ] in
+        Alcotest.(check bool) "divergence" false
+          (Overlay.is_match (Overlay.check [| t1; t2 |])));
+    Alcotest.test_case "root mismatch detected" `Quick (fun () ->
+        let t1 = [ ev ~root:(Some 0) Mpisim.Coll.Bcast "x" ] in
+        let t2 = [ ev ~root:(Some 1) Mpisim.Coll.Bcast "x" ] in
+        Alcotest.(check bool) "divergence" false
+          (Overlay.is_match (Overlay.check [| t1; t2 |])));
+    Alcotest.test_case "payload differences do not matter" `Quick (fun () ->
+        let t1 = [ ev ~payload:1 Mpisim.Coll.Barrier "x" ] in
+        let t2 = [ ev ~payload:9 Mpisim.Coll.Barrier "x" ] in
+        Alcotest.(check bool) "match" true
+          (Overlay.is_match (Overlay.check [| t1; t2 |])));
+    Alcotest.test_case "message count: one per tree edge per round" `Quick
+      (fun () ->
+        (* 3 ranks, fanout 2: layer 0 sends 3 messages (2+1), layer 1 sends
+           2, so 5 per round. *)
+        let trace = [ barrier "a"; barrier "b" ] in
+        let r = Overlay.check ~fanout:2 (Array.make 3 trace) in
+        Alcotest.(check int) "messages" 10 r.Overlay.messages);
+    Alcotest.test_case "overlay metrics: tree spreads the load" `Quick
+      (fun () ->
+        let trace = [ barrier "a" ] in
+        let traces = Array.make 16 trace in
+        let tree = Overlay.check ~fanout:2 traces in
+        let central = Overlay.check ~fanout:16 traces in
+        Alcotest.(check bool) "tree deeper" true
+          (tree.Overlay.tree_depth > central.Overlay.tree_depth);
+        Alcotest.(check bool) "central busier" true
+          (central.Overlay.tree_max_fan_in > tree.Overlay.tree_max_fan_in));
+  ]
+
+let engine_tests =
+  [
+    Alcotest.test_case "engine traces of a clean run match" `Quick (fun () ->
+        let src =
+          {|func main() { MPI_Barrier(); var x = 0; x = MPI_Allreduce(1, sum);
+             MPI_Bcast(x, 0); }|}
+        in
+        let p = Minilang.Parser.parse_string ~file:"t" src in
+        let result =
+          Interp.Sim.run
+            ~config:{ Interp.Sim.default_config with nranks = 4 }
+            p
+        in
+        let r = Overlay.check_engine result.Interp.Sim.engine in
+        Alcotest.(check bool) "match" true (Overlay.is_match r);
+        (match r.Overlay.verdict with
+        | `Match n -> Alcotest.(check int) "three rounds" 3 n
+        | `Divergence _ -> Alcotest.fail "unexpected divergence"));
+    Alcotest.test_case "engine traces of a mismatching run diverge" `Quick
+      (fun () ->
+        let src =
+          {|func main() { if (rank() == 0) { MPI_Barrier(); } else { MPI_Allgather(1); } }|}
+        in
+        let p = Minilang.Parser.parse_string ~file:"t" src in
+        let result =
+          Interp.Sim.run
+            ~config:{ Interp.Sim.default_config with nranks = 3 }
+            p
+        in
+        let r = Overlay.check_engine result.Interp.Sim.engine in
+        Alcotest.(check bool) "divergence found post mortem" false
+          (Overlay.is_match r));
+    Alcotest.test_case "CC checks are excluded from traces" `Quick (fun () ->
+        let src =
+          {|func main() { __cc_next(1, "MPI_Barrier"); MPI_Barrier(); __cc_return(); }|}
+        in
+        let p = Minilang.Parser.parse_string ~file:"t" src in
+        let result =
+          Interp.Sim.run
+            ~config:{ Interp.Sim.default_config with nranks = 2 }
+            p
+        in
+        Alcotest.(check int) "one real event" 1
+          (List.length (Mpisim.Engine.rank_trace result.Interp.Sim.engine 0)));
+  ]
+
+let qcheck_tests =
+  let open QCheck in
+  let gen_trace =
+    Gen.list_size (Gen.int_bound 6)
+      (Gen.oneofl
+         [
+           barrier "s";
+           allreduce "s";
+           ev ~root:(Some 0) Mpisim.Coll.Bcast "s";
+           ev ~op:(Some Mpisim.Op.Max) Mpisim.Coll.Reduce ~root:(Some 1) "s";
+         ])
+  in
+  let arb =
+    make
+      ~print:(fun (traces, fanout) ->
+        Printf.sprintf "%d traces, fanout %d" (Array.length traces) fanout)
+      Gen.(
+        map2
+          (fun traces fanout -> (Array.of_list traces, fanout))
+          (list_size (int_range 1 9) gen_trace)
+          (int_range 2 8))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"verdict is independent of the fanout" ~count:200 arb
+         (fun (traces, fanout) ->
+           Overlay.is_match (Overlay.check ~fanout traces)
+           = Overlay.is_match (Overlay.check ~fanout:2 traces)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"equal traces always match" ~count:200
+         (make Gen.(pair gen_trace (int_range 1 8)))
+         (fun (trace, n) ->
+           Overlay.is_match (Overlay.check (Array.make n trace))));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"divergence position is within stream bounds" ~count:200
+         arb
+         (fun (traces, fanout) ->
+           match (Overlay.check ~fanout traces).Overlay.verdict with
+           | `Match _ -> true
+           | `Divergence d ->
+               let max_len =
+                 Array.fold_left (fun acc t -> max acc (List.length t)) 0 traces
+               in
+               d.Overlay.position >= 0 && d.Overlay.position < max_len));
+  ]
+
+let suite =
+  [
+    ("mustlike.tree", tree_tests);
+    ("mustlike.check", check_tests);
+    ("mustlike.engine", engine_tests);
+    ("mustlike.qcheck", qcheck_tests);
+  ]

@@ -1,0 +1,158 @@
+(** Tests for the OpenMP substrate: barriers, team arbitration, critical
+    locks and worksharing schedules. *)
+
+open Ompsim
+
+let barrier_tests =
+  [
+    Alcotest.test_case "last arrival releases the waiters" `Quick (fun () ->
+        let b = Barrier.create ~size:3 in
+        Alcotest.(check bool) "first waits" true (Barrier.arrive b ~cookie:1 = Barrier.Wait);
+        Alcotest.(check bool) "second waits" true (Barrier.arrive b ~cookie:2 = Barrier.Wait);
+        match Barrier.arrive b ~cookie:3 with
+        | Barrier.Release cookies ->
+            Alcotest.(check (list int)) "released" [ 1; 2 ]
+              (List.sort Int.compare cookies)
+        | Barrier.Wait -> Alcotest.fail "expected release");
+    Alcotest.test_case "barrier is reusable across episodes" `Quick (fun () ->
+        let b = Barrier.create ~size:2 in
+        ignore (Barrier.arrive b ~cookie:1);
+        (match Barrier.arrive b ~cookie:2 with
+        | Barrier.Release [ 1 ] -> ()
+        | _ -> Alcotest.fail "episode 1");
+        ignore (Barrier.arrive b ~cookie:2);
+        match Barrier.arrive b ~cookie:1 with
+        | Barrier.Release [ 2 ] -> ()
+        | _ -> Alcotest.fail "episode 2");
+    Alcotest.test_case "size-1 barrier never blocks" `Quick (fun () ->
+        let b = Barrier.create ~size:1 in
+        match Barrier.arrive b ~cookie:9 with
+        | Barrier.Release [] -> ()
+        | _ -> Alcotest.fail "expected immediate release");
+    Alcotest.test_case "invalid size rejected" `Quick (fun () ->
+        match Barrier.create ~size:0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let team_tests =
+  [
+    Alcotest.test_case "single arbitration: first claim wins" `Quick (fun () ->
+        let t = Team.create ~rank:0 ~size:4 ~parent:None ~forker:0 in
+        Alcotest.(check bool) "first" true
+          (Team.claim_single t ~construct:7 ~instance:0);
+        Alcotest.(check bool) "second loses" false
+          (Team.claim_single t ~construct:7 ~instance:0);
+        Alcotest.(check bool) "new instance is fresh" true
+          (Team.claim_single t ~construct:7 ~instance:1);
+        Alcotest.(check bool) "different construct is fresh" true
+          (Team.claim_single t ~construct:8 ~instance:0));
+    Alcotest.test_case "member_finished fires once at the end" `Quick (fun () ->
+        let t = Team.create ~rank:0 ~size:3 ~parent:None ~forker:0 in
+        Alcotest.(check bool) "1/3" false (Team.member_finished t);
+        Alcotest.(check bool) "2/3" false (Team.member_finished t);
+        Alcotest.(check bool) "3/3" true (Team.member_finished t));
+    Alcotest.test_case "nesting depth follows parents" `Quick (fun () ->
+        let outer = Team.create ~rank:0 ~size:2 ~parent:None ~forker:0 in
+        let inner = Team.create ~rank:0 ~size:2 ~parent:(Some outer) ~forker:1 in
+        Alcotest.(check int) "outer depth" 1 outer.Team.depth;
+        Alcotest.(check int) "inner depth" 2 inner.Team.depth);
+  ]
+
+let critical_tests =
+  [
+    Alcotest.test_case "uncontended acquire succeeds" `Quick (fun () ->
+        let t = Critical.create () in
+        Alcotest.(check bool) "acquired" true
+          (Critical.acquire t ~name:"x" ~cookie:1 = Critical.Acquired));
+    Alcotest.test_case "contended acquire queues, release hands over" `Quick
+      (fun () ->
+        let t = Critical.create () in
+        ignore (Critical.acquire t ~name:"x" ~cookie:1);
+        Alcotest.(check bool) "second waits" true
+          (Critical.acquire t ~name:"x" ~cookie:2 = Critical.Must_wait);
+        Alcotest.(check bool) "third waits" true
+          (Critical.acquire t ~name:"x" ~cookie:3 = Critical.Must_wait);
+        Alcotest.(check (option int)) "fifo handover" (Some 2)
+          (Critical.release t ~name:"x" ~cookie:1);
+        Alcotest.(check (option int)) "then third" (Some 3)
+          (Critical.release t ~name:"x" ~cookie:2);
+        Alcotest.(check (option int)) "empty queue" None
+          (Critical.release t ~name:"x" ~cookie:3));
+    Alcotest.test_case "different names do not contend" `Quick (fun () ->
+        let t = Critical.create () in
+        ignore (Critical.acquire t ~name:"a" ~cookie:1);
+        Alcotest.(check bool) "other lock free" true
+          (Critical.acquire t ~name:"b" ~cookie:2 = Critical.Acquired));
+    Alcotest.test_case "release by non-holder is an error" `Quick (fun () ->
+        let t = Critical.create () in
+        ignore (Critical.acquire t ~name:"x" ~cookie:1);
+        match Critical.release t ~name:"x" ~cookie:99 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "blocked lists queued cookies" `Quick (fun () ->
+        let t = Critical.create () in
+        ignore (Critical.acquire t ~name:"x" ~cookie:1);
+        ignore (Critical.acquire t ~name:"x" ~cookie:2);
+        Alcotest.(check (list int)) "blocked" [ 2 ] (Critical.blocked t));
+  ]
+
+let schedule_tests =
+  [
+    Alcotest.test_case "chunk splits 10 over 3 as 4/3/3" `Quick (fun () ->
+        Alcotest.(check (pair int int)) "tid 0" (0, 4)
+          (Schedule.chunk ~lo:0 ~hi:10 ~tid:0 ~nthreads:3);
+        Alcotest.(check (pair int int)) "tid 1" (4, 7)
+          (Schedule.chunk ~lo:0 ~hi:10 ~tid:1 ~nthreads:3);
+        Alcotest.(check (pair int int)) "tid 2" (7, 10)
+          (Schedule.chunk ~lo:0 ~hi:10 ~tid:2 ~nthreads:3));
+    Alcotest.test_case "empty range yields empty chunks" `Quick (fun () ->
+        for tid = 0 to 2 do
+          let start, stop = Schedule.chunk ~lo:5 ~hi:5 ~tid ~nthreads:3 in
+          Alcotest.(check bool) "empty" true (start >= stop)
+        done);
+    Alcotest.test_case "sections round-robin" `Quick (fun () ->
+        Alcotest.(check (list int)) "tid 0 of 2, 5 sections" [ 0; 2; 4 ]
+          (Schedule.sections_for ~count:5 ~tid:0 ~nthreads:2);
+        Alcotest.(check (list int)) "tid 1 of 2, 5 sections" [ 1; 3 ]
+          (Schedule.sections_for ~count:5 ~tid:1 ~nthreads:2);
+        Alcotest.(check (list int)) "tid beyond sections" []
+          (Schedule.sections_for ~count:2 ~tid:3 ~nthreads:8));
+  ]
+
+let qcheck_tests =
+  let open QCheck in
+  let params =
+    make
+      ~print:(fun (lo, n, t) -> Printf.sprintf "lo=%d n=%d t=%d" lo n t)
+      Gen.(
+        map3
+          (fun lo n t -> (lo, n, t))
+          (int_range (-50) 50) (int_range 0 100) (int_range 1 16))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"chunks cover each iteration exactly once" ~count:300
+         params (fun (lo, n, nthreads) ->
+           let hi = lo + n in
+           Schedule.covers ~lo ~hi ~nthreads = List.init n (fun i -> lo + i)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"sections partition indices" ~count:300
+         (pair (int_range 0 50) (int_range 1 16))
+         (fun (count, nthreads) ->
+           let all =
+             List.concat
+               (List.init nthreads (fun tid ->
+                    Schedule.sections_for ~count ~tid ~nthreads))
+           in
+           List.sort Int.compare all = List.init count (fun i -> i)));
+  ]
+
+let suite =
+  [
+    ("ompsim.barrier", barrier_tests);
+    ("ompsim.team", team_tests);
+    ("ompsim.critical", critical_tests);
+    ("ompsim.schedule", schedule_tests);
+    ("ompsim.qcheck", qcheck_tests);
+  ]

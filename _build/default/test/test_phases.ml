@@ -1,0 +1,368 @@
+(** Tests for the three static verification phases and the driver. *)
+
+open Parcoach
+
+let parse src = Minilang.Parser.parse_string ~file:"test" src
+
+let analyze ?options src = Driver.analyze ?options (parse src)
+
+let main_report ?options src =
+  match (analyze ?options src).Driver.funcs with
+  | fr :: _ -> fr
+  | [] -> Alcotest.fail "no function analysed"
+
+let warning_classes report =
+  List.map (fun w -> Warning.class_of w.Warning.kind) (Driver.all_warnings report)
+
+let has_class report cls = List.mem cls (warning_classes report)
+
+let phase1_tests =
+  [
+    Alcotest.test_case "collective in parallel lands in S" `Quick (fun () ->
+        let fr = main_report "func main() { pragma omp parallel { MPI_Barrier(); } }" in
+        Alcotest.(check int) "one multithreaded collective" 1
+          (List.length fr.Driver.phase1.Monothread.s_mt);
+        Alcotest.(check bool) "sipw nonempty" true
+          (fr.Driver.phase1.Monothread.sipw <> []));
+    Alcotest.test_case "collective in single is clean" `Quick (fun () ->
+        let fr =
+          main_report
+            "func main() { pragma omp parallel { pragma omp single { MPI_Barrier(); } } }"
+        in
+        Alcotest.(check (list int)) "S empty" [] fr.Driver.phase1.Monothread.s_mt);
+    Alcotest.test_case "collective in critical is multithreaded" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            "func main() { pragma omp parallel { pragma omp critical { MPI_Barrier(); } } }"
+        in
+        Alcotest.(check int) "flagged" 1
+          (List.length fr.Driver.phase1.Monothread.s_mt));
+    Alcotest.test_case "collective in worksharing for is multithreaded" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel { pragma omp for i = 0 to 4 {
+                MPI_Barrier(); } } }|}
+        in
+        Alcotest.(check int) "flagged" 1
+          (List.length fr.Driver.phase1.Monothread.s_mt));
+    Alcotest.test_case "nested parallel around single is multithreaded" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel { pragma omp parallel {
+                pragma omp single { MPI_Barrier(); } } } }|}
+        in
+        (* pw = P·P·S ∉ L: one thread per team may execute it. *)
+        Alcotest.(check int) "flagged" 1
+          (List.length fr.Driver.phase1.Monothread.s_mt));
+    Alcotest.test_case "warning carries the required level" `Quick (fun () ->
+        let report = analyze "func main() { pragma omp parallel { MPI_Barrier(); } }" in
+        let found =
+          List.exists
+            (fun w ->
+              match w.Warning.kind with
+              | Warning.Multithreaded_collective { required; _ } ->
+                  required = Mpisim.Thread_level.Multiple
+              | _ -> false)
+            (Driver.all_warnings report)
+        in
+        Alcotest.(check bool) "multiple required" true found);
+    Alcotest.test_case "level insufficiency against provided level" `Quick
+      (fun () ->
+        let options =
+          {
+            Driver.default_options with
+            Driver.provided_level = Mpisim.Thread_level.Single;
+          }
+        in
+        let report =
+          analyze ~options
+            "func main() { pragma omp parallel { pragma omp single { MPI_Barrier(); } } }"
+        in
+        Alcotest.(check bool) "insufficient level reported" true
+          (has_class report "insufficient thread level"));
+    Alcotest.test_case "initial multithreaded word flags top-level collective"
+      `Quick (fun () ->
+        let options =
+          { Driver.default_options with Driver.initial_word = [ Pword.P 0 ] }
+        in
+        let report = analyze ~options "func main() { MPI_Barrier(); }" in
+        Alcotest.(check bool) "flagged" true
+          (has_class report "multithreaded collective"));
+  ]
+
+let phase2_tests =
+  [
+    Alcotest.test_case "single nowait then single is concurrent" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel {
+                pragma omp single nowait { MPI_Barrier(); }
+                pragma omp single { MPI_Allreduce(1, sum); } } }|}
+        in
+        Alcotest.(check int) "one pair" 1
+          (List.length fr.Driver.phase2.Concurrency.pairs);
+        Alcotest.(check int) "two regions in Scc" 2
+          (List.length fr.Driver.phase2.Concurrency.scc_regions));
+    Alcotest.test_case "barrier-separated singles are ordered" `Quick (fun () ->
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel {
+                pragma omp single { MPI_Barrier(); }
+                pragma omp single { MPI_Allreduce(1, sum); } } }|}
+        in
+        Alcotest.(check int) "no pair" 0
+          (List.length fr.Driver.phase2.Concurrency.pairs));
+    Alcotest.test_case "master then single is concurrent" `Quick (fun () ->
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel {
+                pragma omp master { MPI_Barrier(); }
+                pragma omp single { MPI_Allreduce(1, sum); } } }|}
+        in
+        Alcotest.(check int) "one pair" 1
+          (List.length fr.Driver.phase2.Concurrency.pairs));
+    Alcotest.test_case "collectives in two sections are concurrent" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel { pragma omp sections {
+                section { MPI_Barrier(); } section { MPI_Allreduce(1, sum); } } } }|}
+        in
+        Alcotest.(check int) "one pair" 1
+          (List.length fr.Driver.phase2.Concurrency.pairs));
+    Alcotest.test_case "two collectives inside one single are ordered" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel { pragma omp single {
+                MPI_Barrier(); MPI_Allreduce(1, sum); } } }|}
+        in
+        Alcotest.(check int) "no pair" 0
+          (List.length fr.Driver.phase2.Concurrency.pairs));
+    Alcotest.test_case "counter groups merge overlapping pairs" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel {
+                pragma omp single nowait { MPI_Barrier(); }
+                pragma omp single nowait { MPI_Allreduce(1, sum); }
+                pragma omp single { MPI_Bcast(1, 0); } } }|}
+        in
+        let groups = Concurrency.counter_groups fr.Driver.phase2 in
+        Alcotest.(check int) "one group" 1 (List.length groups);
+        let _, members = List.hd groups in
+        Alcotest.(check int) "three members" 3 (List.length members));
+  ]
+
+let phase3_tests =
+  [
+    Alcotest.test_case "rank-guarded collective is flagged" `Quick (fun () ->
+        let fr =
+          main_report "func main() { if (rank() == 0) { MPI_Barrier(); } }"
+        in
+        Alcotest.(check int) "one flagged class" 1
+          (List.length fr.Driver.phase3.Interproc.flagged));
+    Alcotest.test_case "unconditional collective is clean" `Quick (fun () ->
+        let fr = main_report "func main() { MPI_Barrier(); MPI_Barrier(); }" in
+        Alcotest.(check int) "no flagged class" 0
+          (List.length fr.Driver.phase3.Interproc.flagged));
+    Alcotest.test_case "same collective in both branches is still flagged"
+      `Quick (fun () ->
+        (* Known conservative behaviour of PDF+-based Algorithm 1: the
+           dynamic CC check resolves it at run time. *)
+        let fr =
+          main_report
+            {|func main() { if (rank() == 0) { MPI_Barrier(); } else { MPI_Barrier(); } }|}
+        in
+        Alcotest.(check int) "flagged" 1
+          (List.length fr.Driver.phase3.Interproc.flagged));
+    Alcotest.test_case "collective depth separates sequence positions" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            {|func main() { MPI_Barrier(); if (rank() == 0) { MPI_Barrier(); } }|}
+        in
+        let classes = fr.Driver.phase3.Interproc.classes in
+        Alcotest.(check int) "two classes for MPI_Barrier" 2
+          (List.length
+             (List.filter (fun c -> c.Interproc.name = "MPI_Barrier") classes)));
+    Alcotest.test_case "taint filter drops rank-independent conditions" `Quick
+      (fun () ->
+        let src =
+          {|func main() { var n = 4; if (n > 2) { MPI_Barrier(); }
+             if (rank() > 0) { MPI_Allreduce(1, sum); } }|}
+        in
+        let plain = main_report src in
+        let tainted =
+          main_report
+            ~options:{ Driver.default_options with Driver.taint_filter = true }
+            src
+        in
+        Alcotest.(check int) "both flagged without filter" 2
+          (List.length plain.Driver.phase3.Interproc.flagged);
+        Alcotest.(check int) "only the rank-dependent one with filter" 1
+          (List.length tainted.Driver.phase3.Interproc.flagged));
+    Alcotest.test_case "collective in a loop is flagged" `Quick (fun () ->
+        let fr =
+          main_report
+            "func main() { var i = 0; while (i < 3) { MPI_Barrier(); i = i + 1; } }"
+        in
+        Alcotest.(check int) "flagged" 1
+          (List.length fr.Driver.phase3.Interproc.flagged));
+    Alcotest.test_case "loop bounded by allreduce result: taint filter keeps it clean"
+      `Quick (fun () ->
+        let src =
+          {|func main() { var r = 0; r = MPI_Allreduce(rank(), max);
+             var i = 0; while (i < r) { MPI_Barrier(); i = i + 1; } }|}
+        in
+        let tainted =
+          main_report
+            ~options:{ Driver.default_options with Driver.taint_filter = true }
+            src
+        in
+        Alcotest.(check int) "not flagged with filter" 0
+          (List.length tainted.Driver.phase3.Interproc.flagged));
+    Alcotest.test_case "cc_sites covers all nodes of flagged classes" `Quick
+      (fun () ->
+        let fr =
+          main_report
+            {|func main() { if (rank() == 0) { MPI_Barrier(); } else { MPI_Barrier(); } }|}
+        in
+        Alcotest.(check int) "two CC sites" 2 (List.length fr.Driver.cc_sites));
+  ]
+
+let driver_tests =
+  [
+    Alcotest.test_case "per-function reports in source order" `Quick (fun () ->
+        let report =
+          analyze
+            {|func main() { helper(); } func helper() { MPI_Barrier(); }|}
+        in
+        Alcotest.(check (list string)) "order" [ "main"; "helper" ]
+          (List.map (fun fr -> fr.Driver.fname) report.Driver.funcs));
+    Alcotest.test_case "warnings aggregate across functions" `Quick (fun () ->
+        let report =
+          analyze
+            {|func main() { if (rank() == 0) { MPI_Barrier(); } helper(); }
+              func helper() { pragma omp parallel { MPI_Allreduce(1, sum); } }|}
+        in
+        Alcotest.(check bool) "mismatch warning" true
+          (has_class report "collective mismatch");
+        Alcotest.(check bool) "multithreaded warning" true
+          (has_class report "multithreaded collective"));
+    Alcotest.test_case "warning count matches by-class totals" `Quick (fun () ->
+        let report =
+          analyze
+            {|func main() { if (rank() == 0) { MPI_Barrier(); }
+               pragma omp parallel { MPI_Allreduce(1, sum); } }|}
+        in
+        let total = Driver.warning_count report in
+        let by_class =
+          List.fold_left (fun acc (_, n) -> acc + n) 0 (Driver.warnings_by_class report)
+        in
+        Alcotest.(check int) "totals agree" total by_class);
+    Alcotest.test_case "clean hybrid program has no warnings" `Quick (fun () ->
+        let report =
+          analyze
+            {|func main() {
+                var x = 0;
+                pragma omp parallel {
+                  pragma omp for i = 0 to 8 { compute(i); }
+                  pragma omp single { x = MPI_Allreduce(1, sum); }
+                }
+                MPI_Barrier();
+                print(x);
+              }|}
+        in
+        Alcotest.(check int) "no warnings" 0 (Driver.warning_count report));
+    Alcotest.test_case "warning pretty-printer mentions names and lines" `Quick
+      (fun () ->
+        let report = analyze "func main() { if (rank() == 0) { MPI_Barrier(); } }" in
+        let text =
+          String.concat "\n"
+            (List.map Warning.to_string (Driver.all_warnings report))
+        in
+        let contains sub =
+          let n = String.length text and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "collective name" true (contains "MPI_Barrier");
+        Alcotest.(check bool) "source line" true (contains "test:1"));
+  ]
+
+let report_tests =
+  [
+    Alcotest.test_case "pp_report prints per-function warnings and totals"
+      `Quick (fun () ->
+        let report =
+          analyze
+            {|func main() { if (rank() == 0) { MPI_Barrier(); }
+               pragma omp parallel { MPI_Allgather(1); } }|}
+        in
+        let text = Fmt.str "%a" Driver.pp_report report in
+        let contains sub =
+          let n = String.length text and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "function header" true (contains "function 'main'");
+        Alcotest.(check bool) "totals" true (contains "total:");
+        Alcotest.(check bool) "class counts" true (contains "collective mismatch"));
+    Alcotest.test_case "required level with mixed region kinds" `Quick
+      (fun () ->
+        (* master inside single: the S tokens are not all master regions,
+           so FUNNELED does not suffice. *)
+        let fr =
+          main_report
+            {|func main() { pragma omp parallel { pragma omp single {
+                pragma omp master { MPI_Barrier(); } } } }|}
+        in
+        let entry = List.hd fr.Driver.phase1.Monothread.entries in
+        Alcotest.(check bool) "serialized required" true
+          (entry.Monothread.required = Mpisim.Thread_level.Serialized));
+    Alcotest.test_case "exhaustive mode adds return checks even without collectives"
+      `Quick (fun () ->
+        let program = parse "func helper() { compute(1); } func main() { helper(); }" in
+        let report = Driver.analyze program in
+        let inst = Instrument.instrument report Instrument.Exhaustive in
+        let count =
+          List.fold_left
+            (fun acc (f : Minilang.Ast.func) ->
+              Minilang.Ast.fold_stmts
+                (fun acc s ->
+                  match s.Minilang.Ast.sdesc with
+                  | Minilang.Ast.Omp_single
+                      { body = [ { Minilang.Ast.sdesc = Minilang.Ast.Check Minilang.Ast.Cc_return; _ } ]; _ }
+                    ->
+                      acc + 1
+                  | _ -> acc)
+                acc f.Minilang.Ast.body)
+            0 inst.Minilang.Ast.funcs
+        in
+        Alcotest.(check int) "one per function end" 2 count);
+    Alcotest.test_case "CC meeting a real collective is a mismatch" `Quick
+      (fun () ->
+        let e = Mpisim.Engine.create ~nranks:2 in
+        ignore
+          (Mpisim.Engine.arrive e ~rank:0 ~cookie:0
+             (Mpisim.Coll.cc_check ~color:1 ~site:"a"));
+        ignore
+          (Mpisim.Engine.arrive e ~rank:1 ~cookie:1 (Mpisim.Coll.barrier ~site:"b"));
+        match Mpisim.Engine.try_complete e with
+        | Some (Mpisim.Engine.Mismatch _) -> ()
+        | _ -> Alcotest.fail "expected a cross-type mismatch");
+  ]
+
+let suite =
+  [
+    ("phases.monothread", phase1_tests);
+    ("phases.report", report_tests);
+    ("phases.concurrency", phase2_tests);
+    ("phases.interproc", phase3_tests);
+    ("phases.driver", driver_tests);
+  ]

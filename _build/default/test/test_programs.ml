@@ -1,0 +1,93 @@
+(** Pipeline tests over the sample [.hml] programs shipped in
+    [examples/programs]: parse, validate, analyse, run (instrumented and
+    not) and post-mortem-check each one. *)
+
+let programs_dir = "../examples/programs"
+
+let load name = Minilang.Parser.parse_file (Filename.concat programs_dir name)
+
+let config =
+  {
+    Interp.Sim.nranks = 3;
+    default_nthreads = 3;
+    schedule = `Random 42;
+    max_steps = 2_000_000;
+    entry = "main";
+    record_trace = true;
+    thread_level = Mpisim.Thread_level.Multiple;
+  }
+
+let tests =
+  [
+    Alcotest.test_case "jacobi.hml: clean hybrid program" `Quick (fun () ->
+        let p = load "jacobi.hml" in
+        Alcotest.(check bool) "validates" true
+          (Minilang.Validate.is_valid (Minilang.Validate.check_program p));
+        let report = Parcoach.Driver.analyze p in
+        (* The convergence loop is data-dependent: flagged statically... *)
+        Alcotest.(check bool) "loop collective flagged" true
+          (Parcoach.Driver.warning_count report > 0);
+        (* ... but clean with the taint filter (the bound is replicated). *)
+        let filtered =
+          Parcoach.Driver.analyze
+            ~options:
+              { Parcoach.Driver.default_options with Parcoach.Driver.taint_filter = true }
+            p
+        in
+        Alcotest.(check int) "taint-clean" 0
+          (Parcoach.Driver.warning_count filtered);
+        let inst = Parcoach.Instrument.instrument report Parcoach.Instrument.Selective in
+        let result = Interp.Sim.run ~config inst in
+        Alcotest.(check bool) "instrumented run finishes" true
+          (Interp.Sim.is_finished result);
+        Alcotest.(check bool) "post-mortem traces match" true
+          (Mustlike.Overlay.is_match
+             (Mustlike.Overlay.check_engine result.Interp.Sim.engine)));
+    Alcotest.test_case "buggy_halo.hml: both planted bugs are reported" `Quick
+      (fun () ->
+        let p = load "buggy_halo.hml" in
+        Alcotest.(check bool) "validates" true
+          (Minilang.Validate.is_valid (Minilang.Validate.check_program p));
+        let report = Parcoach.Driver.analyze p in
+        let classes =
+          List.map fst (Parcoach.Driver.warnings_by_class report)
+        in
+        Alcotest.(check bool) "mismatch warning" true
+          (List.mem "collective mismatch" classes);
+        Alcotest.(check bool) "concurrency warning" true
+          (List.mem "concurrent collective calls" classes);
+        let inst = Parcoach.Instrument.instrument report Parcoach.Instrument.Selective in
+        let result = Interp.Sim.run ~config inst in
+        (* The rank-dependent reduce guarantees the CC check trips even if
+           the single/single race does not manifest. *)
+        Alcotest.(check bool) "clean abort" true (Interp.Sim.is_clean_abort result));
+    Alcotest.test_case "pipeline.hml: funneled pattern runs clean" `Quick
+      (fun () ->
+        let p = load "pipeline.hml" in
+        let report = Parcoach.Driver.analyze p in
+        let inst = Parcoach.Instrument.instrument report Parcoach.Instrument.Selective in
+        let plain = Interp.Sim.run ~config p in
+        let checked = Interp.Sim.run ~config inst in
+        Alcotest.(check bool) "plain finishes" true (Interp.Sim.is_finished plain);
+        Alcotest.(check bool) "checked finishes" true (Interp.Sim.is_finished checked);
+        (* Master-only MPI requires FUNNELED at most. *)
+        let fr = Option.get (Parcoach.Driver.func_report report "stage") in
+        List.iter
+          (fun (e : Parcoach.Monothread.entry) ->
+            Alcotest.(check bool) "funneled suffices" true
+              (Mpisim.Thread_level.includes Mpisim.Thread_level.Funneled
+                 e.Parcoach.Monothread.required))
+          fr.Parcoach.Driver.phase1.Parcoach.Monothread.entries);
+    Alcotest.test_case "all sample programs round-trip through the printer"
+      `Quick (fun () ->
+        List.iter
+          (fun name ->
+            let p = load name in
+            let printed = Minilang.Pretty.program_to_string p in
+            let p2 = Minilang.Parser.parse_string ~file:name printed in
+            Alcotest.(check bool) (name ^ " round-trips") true
+              (Minilang.Ast.equal_program p p2))
+          [ "jacobi.hml"; "buggy_halo.hml"; "pipeline.hml" ]);
+  ]
+
+let suite = [ ("programs.samples", tests) ]
