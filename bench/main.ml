@@ -168,10 +168,12 @@ let compile_baseline source =
   back_end program graphs
 
 (* Compilation + the PARCOACH static analysis (warnings only), reusing
-   the compiler's CFGs. *)
+   the compiler's CFGs.  [jobs:1]: Figure 1 measures the overhead the
+   analysis adds to a sequential compiler pipeline, so the scaling knob
+   stays out of the picture (the [scaling] section varies it). *)
 let compile_warnings ?options source =
   let program, graphs = front_and_middle source in
-  let report = Parcoach.Driver.analyze ?options ~graphs program in
+  let report = Parcoach.Driver.analyze ?options ~graphs ~jobs:1 program in
   ignore (Parcoach.Driver.all_warnings report);
   back_end program graphs
 
@@ -180,7 +182,7 @@ let compile_warnings ?options source =
    emitted program is the instrumented one. *)
 let compile_codegen ?options source =
   let program, graphs = front_and_middle source in
-  let report = Parcoach.Driver.analyze ?options ~graphs program in
+  let report = Parcoach.Driver.analyze ?options ~graphs ~jobs:1 program in
   ignore (Parcoach.Driver.all_warnings report);
   let instrumented =
     Parcoach.Instrument.instrument report Parcoach.Instrument.Selective
@@ -691,6 +693,107 @@ let explore_section () =
     "explorer enumerates the interleavings and keeps a replayable witness.@."
 
 (* ------------------------------------------------------------------ *)
+(* Domain-parallel driver scaling                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A program with many independent functions: the catalog's generated
+   benchmarks concatenated and replicated under fresh names until at
+   least [min_funcs] functions.  The default analysis is
+   intra-procedural, so the renamed copies analyse exactly like the
+   originals. *)
+let scaling_program ~min_funcs =
+  let base =
+    List.concat_map
+      (fun (e : Benchsuite.Catalog.entry) ->
+        (e.Benchsuite.Catalog.generate ()).Minilang.Ast.funcs)
+      Benchsuite.Catalog.all
+  in
+  let nbase = List.length base in
+  let copies = (min_funcs + nbase - 1) / nbase in
+  let funcs =
+    List.concat
+      (List.init copies (fun k ->
+           List.map
+             (fun (f : Minilang.Ast.func) ->
+               { f with Minilang.Ast.fname = f.Minilang.Ast.fname ^ "__c"
+                                             ^ string_of_int k })
+             base))
+  in
+  { Minilang.Ast.funcs }
+
+let scaling_section () =
+  Fmt.pr "@.== Driver.analyze scaling over OCaml 5 domains ==@.@.";
+  let program = scaling_program ~min_funcs:16 in
+  let nfuncs = List.length program.Minilang.Ast.funcs in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "program: %d functions, %d statements | machine: %d core(s)@.@."
+    nfuncs
+    (Minilang.Ast.program_size program)
+    cores;
+  let reference =
+    Parcoach.Json_report.to_string (Parcoach.Driver.analyze ~jobs:1 program)
+  in
+  let job_counts = [ 1; 2; 4 ] in
+  (* Determinism gate first: every job count must reproduce the jobs:1
+     report byte for byte, otherwise the timings are meaningless. *)
+  List.iter
+    (fun jobs ->
+      let json =
+        Parcoach.Json_report.to_string (Parcoach.Driver.analyze ~jobs program)
+      in
+      if not (String.equal json reference) then
+        Fmt.failwith "scaling: jobs:%d report differs from jobs:1" jobs)
+    job_counts;
+  Fmt.pr "reports at jobs 1/2/4: byte-identical (%d bytes of JSON)@.@."
+    (String.length reference);
+  let tests =
+    List.map
+      (fun jobs ->
+        Test.make
+          ~name:(Printf.sprintf "jobs%d" jobs)
+          (Staged.stage (fun () ->
+               ignore (Parcoach.Driver.analyze ~jobs program))))
+      job_counts
+  in
+  let rows = measure ~quota:1.5 tests in
+  let times =
+    List.map
+      (fun jobs ->
+        (jobs, find_estimate rows (Printf.sprintf "jobs%d" jobs)))
+      job_counts
+  in
+  let t1 = List.assoc 1 times in
+  Fmt.pr "%-8s | %14s | %8s@." "jobs" "ns/run" "speedup";
+  Fmt.pr "%s@." (String.make 36 '-');
+  List.iter
+    (fun (jobs, t) ->
+      Fmt.pr "%-8d | %14.0f | %7.2fx@." jobs t (t1 /. t))
+    times;
+  let json =
+    Printf.sprintf
+      "{\n  \"section\": \"scaling\",\n  \"nfuncs\": %d,\n  \"cores\": %d,\n\
+      \  \"report_bytes\": %d,\n  \"identical_reports\": true,\n\
+      \  \"runs\": [\n%s\n  ]\n}\n"
+      nfuncs cores
+      (String.length reference)
+      (String.concat ",\n"
+         (List.map
+            (fun (jobs, t) ->
+              Printf.sprintf
+                "    { \"jobs\": %d, \"ns_per_run\": %.0f, \"speedup\": %.3f }"
+                jobs t (t1 /. t))
+            times))
+  in
+  let oc = open_out "BENCH_scaling.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_scaling.json@.";
+  if cores < 2 then
+    Fmt.pr
+      "note: this machine reports a single core; the domains serialize and@.\
+       no speedup can show here — run on a multicore host to see scaling.@."
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -705,6 +808,7 @@ let sections =
     ("overlay", overlay_section);
     ("interproc", interproc_section);
     ("explore", explore_section);
+    ("scaling", scaling_section);
   ]
 
 let () =

@@ -24,14 +24,19 @@ let read_program file bench =
       Fmt.epr "give a source file or --bench NAME@.";
       exit 2
 
-let run file bench initial_multi level taint interproc json instrument_mode
-    output dot =
+let run file bench initial_multi level taint interproc jobs json
+    instrument_mode output dot =
   let program = read_program file bench in
   let issues = Minilang.Validate.check_program program in
   List.iter
     (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i))
     issues;
   if not (Minilang.Validate.is_valid issues) then exit 1;
+  (match jobs with
+  | Some j when j < 1 ->
+      Fmt.epr "--jobs must be at least 1 (got %d)@." j;
+      exit 2
+  | _ -> ());
   let options =
     {
       Parcoach.Driver.initial_word =
@@ -41,7 +46,7 @@ let run file bench initial_multi level taint interproc json instrument_mode
       interprocedural = interproc;
     }
   in
-  let report = Parcoach.Driver.analyze ~options program in
+  let report = Parcoach.Driver.analyze ~options ?jobs program in
   if json then print_endline (Parcoach.Json_report.to_string report)
   else Fmt.pr "%a" Parcoach.Driver.pp_report report;
   (match dot with
@@ -128,6 +133,16 @@ let interproc =
           "Treat calls to collective-bearing functions as pseudo-collective \
            sites in the inter-process phase.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Analyse up to $(docv) functions in parallel (OCaml domains). \
+           Defaults to the available cores; 1 forces the sequential path. \
+           The report is identical for every value.")
+
 let json =
   Arg.(
     value & flag
@@ -175,6 +190,6 @@ let cmd =
     (Cmd.info "parcoachc" ~doc)
     Term.(
       const run $ file $ bench $ initial_multi $ level $ taint $ interproc
-      $ json $ instrument_mode $ output $ dot)
+      $ jobs $ json $ instrument_mode $ output $ dot)
 
 let () = exit (Cmd.eval cmd)

@@ -22,12 +22,17 @@ let read_program file bench =
       Fmt.epr "give a source file or --bench NAME@.";
       exit 2
 
-let run file bench ranks threads seed round_robin max_steps instrument inject
-    show_trace must_check level =
+let run file bench ranks threads seed round_robin max_steps instrument jobs
+    inject show_trace must_check level =
   let program = read_program file bench in
   let issues = Minilang.Validate.check_program program in
   List.iter (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i)) issues;
   if not (Minilang.Validate.is_valid issues) then exit 1;
+  (match jobs with
+  | Some j when j < 1 ->
+      Fmt.epr "--jobs must be at least 1 (got %d)@." j;
+      exit 2
+  | _ -> ());
   let program =
     match inject with
     | None -> program
@@ -41,7 +46,7 @@ let run file bench ranks threads seed round_robin max_steps instrument inject
     match instrument with
     | None -> program
     | Some mode ->
-        let report = Parcoach.Driver.analyze program in
+        let report = Parcoach.Driver.analyze ?jobs program in
         Fmt.pr "%a" Parcoach.Driver.pp_report report;
         Parcoach.Instrument.instrument report mode
   in
@@ -130,6 +135,15 @@ let instrument =
     & info [ "instrument" ] ~docv:"MODE"
         ~doc:"Analyse and instrument before running ('selective'/'exhaustive').")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "With $(b,--instrument): analyse up to $(docv) functions in \
+           parallel (OCaml domains). Defaults to the available cores.")
+
 let inject =
   let bug_conv =
     Arg.conv
@@ -187,6 +201,7 @@ let cmd =
     (Cmd.info "runsim" ~doc)
     Term.(
       const run $ file $ bench $ ranks $ threads $ seed $ round_robin
-      $ max_steps $ instrument $ inject $ show_trace $ must_check $ level)
+      $ max_steps $ instrument $ jobs $ inject $ show_trace $ must_check
+      $ level)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,45 @@
+(** Shared per-CFG analysis context: memoizes the derived structures of a
+    graph (traversal orders, dominator trees, frontiers, loops, taint) so
+    the pipeline phases compute each at most once.  Creating a context
+    freezes the graph into its packed CSR form.
+
+    The context is the {e only} entry point the analysis pipeline uses for
+    dominance and traversal work; a context is valid for one graph
+    snapshot (create a fresh one after mutating the graph). *)
+
+type t
+
+val create : Graph.t -> t
+
+val graph : t -> Graph.t
+
+(** Reverse postorder from the entry, cached. *)
+val rpo : t -> int array
+
+(** Reverse postorder on the edge-reversed graph from the exit, cached. *)
+val rpo_backward : t -> int array
+
+val rpo_list : t -> int list
+
+(** Forward dominator tree, cached. *)
+val dom : t -> Dominance.t
+
+(** Post-dominator tree, cached. *)
+val pdom : t -> Dominance.t
+
+val dom_frontiers : t -> int list array
+
+val pdom_frontiers : t -> int list array
+
+(** Iterated post-dominance frontier of a node set ([PDF+]), on the
+    cached tree and frontiers. *)
+val pdf_plus : t -> int list -> int list
+
+val loops : t -> Loops.loop list
+
+(** Rank-dependence predicate for [Cond] nodes, cached per parameter
+    list. *)
+val rank_dependent : t -> params:string list -> (int -> bool)
+
+(** Names of the populated caches, for tests and debugging. *)
+val populated : t -> string list

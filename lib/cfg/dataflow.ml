@@ -95,11 +95,15 @@ type direction = Forward | Backward
 let solve (type fact) g dir ~(equal : fact -> fact -> bool)
     ~(join : fact -> fact -> fact) ~(transfer : int -> fact -> fact)
     ~(init : fact) ~(bottom : fact) =
+  freeze g;
   let n = nb_nodes g in
   let input = Array.make n bottom and output = Array.make n bottom in
   let root = match dir with Forward -> g.entry | Backward -> g.exit in
-  let prev = match dir with Forward -> preds | Backward -> succs in
-  let nexts = match dir with Forward -> succs | Backward -> preds in
+  let fold_prev, iter_next =
+    match dir with
+    | Forward -> (fold_preds g, iter_succs g)
+    | Backward -> (fold_succs g, iter_preds g)
+  in
   input.(root) <- init;
   output.(root) <- transfer root init;
   let worklist = Queue.create () in
@@ -113,23 +117,22 @@ let solve (type fact) g dir ~(equal : fact -> fact -> bool)
   (* Seed with a deterministic order. *)
   let order =
     match dir with
-    | Forward -> Traversal.reverse_postorder g
-    | Backward -> List.rev (Traversal.postorder g ~root:g.exit ~next:preds)
+    | Forward -> Traversal.rpo_array g
+    | Backward -> Traversal.rpo_backward_array g
   in
-  List.iter enqueue order;
+  Array.iter enqueue order;
   while not (Queue.is_empty worklist) do
     let id = Queue.pop worklist in
     queued.(id) <- false;
     let in_fact =
       if id = root then init
-      else
-        List.fold_left (fun acc p -> join acc output.(p)) bottom (prev g id)
+      else fold_prev id (fun acc p -> join acc output.(p)) bottom
     in
     let out_fact = transfer id in_fact in
     input.(id) <- in_fact;
     if not (equal out_fact output.(id)) then begin
       output.(id) <- out_fact;
-      List.iter enqueue (nexts g id)
+      iter_next id enqueue
     end
   done;
   (input, output)

@@ -5,7 +5,11 @@
     direction: post-dominance is dominance on the edge-reversed graph rooted
     at the exit node.  The inter-process phase of PARCOACH (Algorithm 1 of
     the IJHPCA'14 paper) relies on the {e iterated post-dominance frontier}
-    [PDF+] computed here. *)
+    [PDF+] computed here.
+
+    Everything runs on the packed CSR adjacency: the worklist iterates an
+    int-array RPO, and frontier dedup uses an O(1) last-inserted marker
+    instead of a [List.mem] scan. *)
 
 open Graph
 
@@ -21,21 +25,24 @@ type t = {
                                 unreachable. *)
 }
 
-let next_of dir =
-  match dir with Forward -> succs | Backward -> preds
-
-let prev_of dir =
-  match dir with Forward -> preds | Backward -> succs
+(* Degree / indexed-successor accessors along the [prev] direction of the
+   analysis (predecessors for Forward, successors for Backward). *)
+let prev_accessors g = function
+  | Forward -> (in_degree g, nth_pred g)
+  | Backward -> (out_degree g, nth_succ g)
 
 (** Compute the (post-)dominator tree.  [Forward] computes dominators from
     the entry; [Backward] computes post-dominators from the exit. *)
 let compute g dir =
+  freeze g;
   let root = match dir with Forward -> g.entry | Backward -> g.exit in
-  let next = next_of dir and prev = prev_of dir in
-  let rpo = List.rev (Traversal.postorder g ~root ~next) in
+  let backward = dir = Backward in
+  let po = Traversal.postorder_array g ~root ~backward in
+  let nr = Array.length po in
+  let rpo = Array.init nr (fun i -> po.(nr - 1 - i)) in
   let n = nb_nodes g in
   let order_index = Array.make n (-1) in
-  List.iteri (fun i id -> order_index.(id) <- i) rpo;
+  Array.iteri (fun i id -> order_index.(id) <- i) rpo;
   let idom = Array.make n (-1) in
   idom.(root) <- root;
   let intersect a b =
@@ -50,25 +57,26 @@ let compute g dir =
     done;
     !a
   in
+  let prev_deg, prev_nth = prev_accessors g dir in
   let changed = ref true in
   while !changed do
     changed := false;
-    List.iter
-      (fun id ->
-        if id <> root then begin
-          let processed_preds =
-            List.filter (fun p -> idom.(p) >= 0) (prev g id)
-          in
-          match processed_preds with
-          | [] -> ()
-          | first :: rest ->
-              let new_idom = List.fold_left intersect first rest in
-              if idom.(id) <> new_idom then begin
-                idom.(id) <- new_idom;
-                changed := true
-              end
-        end)
-      rpo
+    for i = 0 to nr - 1 do
+      let id = rpo.(i) in
+      if id <> root then begin
+        (* Fold the already-processed predecessors through [intersect]. *)
+        let new_idom = ref (-1) in
+        for k = 0 to prev_deg id - 1 do
+          let p = prev_nth id k in
+          if idom.(p) >= 0 then
+            new_idom := if !new_idom < 0 then p else intersect !new_idom p
+        done;
+        if !new_idom >= 0 && idom.(id) <> !new_idom then begin
+          idom.(id) <- !new_idom;
+          changed := true
+        end
+      end
+    done
   done;
   { g; dir; root; idom; order_index }
 
@@ -86,25 +94,35 @@ let dominates t a b =
 
 (** Dominance frontier of each node (Cytron et al.).  For [Backward] this
     is the post-dominance frontier: the branch nodes at which control can
-    avoid the given node. *)
+    avoid the given node.  Dedup uses a per-node "last frontier member
+    inserted" marker, so membership is O(1) instead of a list scan. *)
 let frontiers t =
   let g = t.g in
   let n = nb_nodes g in
   let df = Array.make n [] in
-  let prev = prev_of t.dir in
+  let mark = Array.make n (-1) in
+  let prev_deg, prev_nth = prev_accessors g t.dir in
   for id = 0 to n - 1 do
     if is_reachable t id then begin
-      let ps = List.filter (fun p -> is_reachable t p) (prev g id) in
-      if List.length ps >= 2 then
-        List.iter
-          (fun p ->
+      (* Count reachable predecessors: join nodes only. *)
+      let np = ref 0 in
+      for k = 0 to prev_deg id - 1 do
+        if is_reachable t (prev_nth id k) then incr np
+      done;
+      if !np >= 2 then
+        for k = 0 to prev_deg id - 1 do
+          let p = prev_nth id k in
+          if is_reachable t p then begin
             let runner = ref p in
             while !runner <> t.idom.(id) do
-              if not (List.mem id df.(!runner)) then
-                df.(!runner) <- id :: df.(!runner);
+              if mark.(!runner) <> id then begin
+                mark.(!runner) <- id;
+                df.(!runner) <- id :: df.(!runner)
+              end;
               runner := t.idom.(!runner)
-            done)
-          ps
+            done
+          end
+        done
     end
   done;
   df
@@ -129,7 +147,9 @@ let iterated_frontier t df set =
   done;
   List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) result [])
 
-(** Convenience: the iterated post-dominance frontier of [set]. *)
+(** Convenience: the iterated post-dominance frontier of [set].  The
+    analysis pipeline shares this work through {!Actx} instead of calling
+    here. *)
 let pdf_plus g set =
   let t = compute g Backward in
   let df = frontiers t in

@@ -25,14 +25,17 @@ val is_reachable : t -> int -> bool
 (** Reflexive (post-)dominance test. *)
 val dominates : t -> int -> int -> bool
 
-(** Dominance frontier of each node (Cytron et al.). *)
+(** Dominance frontier of each node (Cytron et al.); dedup is O(1) via a
+    last-inserted marker rather than a list scan. *)
 val frontiers : t -> int list array
 
 (** Iterated dominance frontier of a node set (with [Backward]: the
     [PDF+] of PARCOACH's Algorithm 1). *)
 val iterated_frontier : t -> int list array -> int list -> int list
 
-(** Convenience: iterated post-dominance frontier of [set]. *)
+(** Convenience: iterated post-dominance frontier of [set].  The analysis
+    pipeline shares the post-dominator tree and frontiers through
+    {!Actx} instead of recomputing here. *)
 val pdf_plus : Graph.t -> int list -> int list
 
 (** Children lists of the dominator tree. *)

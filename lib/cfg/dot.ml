@@ -51,7 +51,7 @@ let to_dot ?(annot = fun _ -> None) g =
             | _ -> ""
           in
           Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" n.id s attr))
-        n.succs);
+        (succs g n.id));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

@@ -7,7 +7,13 @@
 
     Region identifiers are the node ids of the [Omp_begin] nodes, matching
     the paper's "[P_i], with [i] the id of the node with the OpenMP
-    construct". *)
+    construct".
+
+    Adjacency is packed: during construction each node carries a dynamic
+    int buffer (O(1) amortised edge append), and the first query after a
+    mutation freezes the graph into immutable CSR int arrays that every
+    traversal and analysis then iterates over.  Edge membership is a
+    hashed set, so [has_edge] is O(1) regardless of out-degree. *)
 
 type region_kind =
   | Rparallel
@@ -52,19 +58,31 @@ type kind =
   | Barrier_node of { implicit : bool; loc : Minilang.Loc.t }
   | Check_site of { check : Minilang.Ast.check; stmt : Minilang.Ast.stmt }
 
-type node = {
-  id : int;
-  kind : kind;
-  mutable succs : int list;  (** Successor ids, order significant for [Cond]. *)
-  mutable preds : int list;
+type node = { id : int; kind : kind }
+
+(* Dynamic append-only int buffer: the construction-time adjacency. *)
+type adj = { mutable tgt : int array; mutable deg : int }
+
+(* Frozen compressed-sparse-row adjacency.  [succ_tgt.(succ_off.(id)) ..
+   succ_tgt.(succ_off.(id + 1) - 1)] are the successors of [id], in
+   insertion order (significant for [Cond] nodes). *)
+type csr = {
+  succ_off : int array;
+  succ_tgt : int array;
+  pred_off : int array;
+  pred_tgt : int array;
 }
 
 type t = {
   fname : string;
   mutable nodes : node array;
+  mutable succ_adj : adj array;
+  mutable pred_adj : adj array;
   mutable count : int;
   entry : int;
   exit : int;
+  mutable csr : csr option;  (** Frozen adjacency; [None] while dirty. *)
+  edges : (int, unit) Hashtbl.t;  (** Packed (src, dst) edge membership. *)
 }
 
 let entry_id = 0
@@ -78,10 +96,6 @@ let node g id =
   g.nodes.(id)
 
 let kind g id = (node g id).kind
-
-let succs g id = (node g id).succs
-
-let preds g id = (node g id).preds
 
 (** Iterate over all node ids in increasing order. *)
 let iter_nodes g f =
@@ -99,31 +113,165 @@ let filter_nodes g p =
   List.rev
     (fold_nodes g (fun acc n -> if p n.kind then n.id :: acc else acc) [])
 
-let dummy_node = { id = -1; kind = Entry; succs = []; preds = [] }
+let dummy_node = { id = -1; kind = Entry }
+
+let empty_adj () = { tgt = [||]; deg = 0 }
 
 let create fname =
-  let g =
-    { fname; nodes = Array.make 16 dummy_node; count = 0; entry = 0; exit = 1 }
-  in
-  g
+  {
+    fname;
+    nodes = Array.make 16 dummy_node;
+    succ_adj = Array.init 16 (fun _ -> empty_adj ());
+    pred_adj = Array.init 16 (fun _ -> empty_adj ());
+    count = 0;
+    entry = 0;
+    exit = 1;
+    csr = None;
+    edges = Hashtbl.create 64;
+  }
 
 let add_node g kind =
   if g.count = Array.length g.nodes then begin
-    let bigger = Array.make (2 * g.count) dummy_node in
+    let cap = 2 * g.count in
+    let bigger = Array.make cap dummy_node in
     Array.blit g.nodes 0 bigger 0 g.count;
-    g.nodes <- bigger
+    g.nodes <- bigger;
+    let grow a =
+      let b = Array.init cap (fun i -> if i < g.count then a.(i) else empty_adj ()) in
+      b
+    in
+    g.succ_adj <- grow g.succ_adj;
+    g.pred_adj <- grow g.pred_adj
   end;
-  let n = { id = g.count; kind; succs = []; preds = [] } in
-  g.nodes.(g.count) <- n;
+  let id = g.count in
+  g.nodes.(id) <- { id; kind };
+  g.succ_adj.(id) <- empty_adj ();
+  g.pred_adj.(id) <- empty_adj ();
   g.count <- g.count + 1;
-  n.id
+  g.csr <- None;
+  id
 
+let adj_push a v =
+  if a.deg = Array.length a.tgt then begin
+    let bigger = Array.make (max 2 (2 * a.deg)) 0 in
+    Array.blit a.tgt 0 bigger 0 a.deg;
+    a.tgt <- bigger
+  end;
+  a.tgt.(a.deg) <- v;
+  a.deg <- a.deg + 1
+
+(* Node counts stay well below 2^31, so a packed pair fits an OCaml int. *)
+let edge_key a b = (a lsl 31) lor b
+
+(** O(1) amortised; parallel edges are kept (a [Cond] whose branches are
+    both empty legitimately has two edges to the join). *)
 let add_edge g a b =
-  let na = node g a and nb = node g b in
-  na.succs <- na.succs @ [ b ];
-  nb.preds <- nb.preds @ [ a ]
+  if a < 0 || a >= g.count || b < 0 || b >= g.count then
+    invalid_arg "Graph.add_edge: bad id";
+  adj_push g.succ_adj.(a) b;
+  adj_push g.pred_adj.(b) a;
+  Hashtbl.replace g.edges (edge_key a b) ();
+  g.csr <- None
 
-let has_edge g a b = List.mem b (succs g a)
+let has_edge g a b =
+  ignore (node g a);
+  Hashtbl.mem g.edges (edge_key a b)
+
+(* ------------------------------------------------------------------ *)
+(* Freezing and packed queries                                         *)
+(* ------------------------------------------------------------------ *)
+
+let build_csr g =
+  let n = g.count in
+  let pack adj =
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i) + adj.(i).deg
+    done;
+    let tgt = Array.make off.(n) 0 in
+    for i = 0 to n - 1 do
+      Array.blit adj.(i).tgt 0 tgt off.(i) adj.(i).deg
+    done;
+    (off, tgt)
+  in
+  let succ_off, succ_tgt = pack g.succ_adj in
+  let pred_off, pred_tgt = pack g.pred_adj in
+  { succ_off; succ_tgt; pred_off; pred_tgt }
+
+(** Pack the adjacency into CSR form.  Idempotent; implicitly re-run by
+    the first query after a mutation ([add_node]/[add_edge]). *)
+let freeze g = if g.csr = None then g.csr <- Some (build_csr g)
+
+let is_frozen g = g.csr <> None
+
+let csr g =
+  match g.csr with
+  | Some c -> c
+  | None ->
+      let c = build_csr g in
+      g.csr <- Some c;
+      c
+
+let out_degree g id =
+  ignore (node g id);
+  g.succ_adj.(id).deg
+
+let in_degree g id =
+  ignore (node g id);
+  g.pred_adj.(id).deg
+
+let nth_succ g id k =
+  let c = csr g in
+  c.succ_tgt.(c.succ_off.(id) + k)
+
+let nth_pred g id k =
+  let c = csr g in
+  c.pred_tgt.(c.pred_off.(id) + k)
+
+let iter_succs g id f =
+  let c = csr g in
+  for k = c.succ_off.(id) to c.succ_off.(id + 1) - 1 do
+    f c.succ_tgt.(k)
+  done
+
+let iter_preds g id f =
+  let c = csr g in
+  for k = c.pred_off.(id) to c.pred_off.(id + 1) - 1 do
+    f c.pred_tgt.(k)
+  done
+
+let fold_succs g id f acc =
+  let c = csr g in
+  let acc = ref acc in
+  for k = c.succ_off.(id) to c.succ_off.(id + 1) - 1 do
+    acc := f !acc c.succ_tgt.(k)
+  done;
+  !acc
+
+let fold_preds g id f acc =
+  let c = csr g in
+  let acc = ref acc in
+  for k = c.pred_off.(id) to c.pred_off.(id + 1) - 1 do
+    acc := f !acc c.pred_tgt.(k)
+  done;
+  !acc
+
+let slice off tgt id =
+  List.init (off.(id + 1) - off.(id)) (fun k -> tgt.(off.(id) + k))
+
+let succs g id =
+  ignore (node g id);
+  let c = csr g in
+  slice c.succ_off c.succ_tgt id
+
+let preds g id =
+  ignore (node g id);
+  let c = csr g in
+  slice c.pred_off c.pred_tgt id
+
+(* ------------------------------------------------------------------ *)
+(* Reporting helpers                                                   *)
+(* ------------------------------------------------------------------ *)
 
 (** Source location a node can be reported at. *)
 let node_loc g id =

@@ -2,7 +2,13 @@
     occupy their own [Omp_begin]/[Omp_end] nodes and implicit thread
     barriers get dedicated [Barrier_node]s (as in the paper's front end);
     MPI collectives are isolated in [Collective] nodes.  Region
-    identifiers are the node ids of the [Omp_begin] nodes. *)
+    identifiers are the node ids of the [Omp_begin] nodes.
+
+    Adjacency is packed: edges append in O(1) to dynamic buffers during
+    construction, and the first query after a mutation {!freeze}s the
+    graph into immutable CSR int arrays consumed by every analysis.
+    Mutating a frozen graph is allowed and simply invalidates the packed
+    form (it is rebuilt on the next query). *)
 
 type region_kind =
   | Rparallel
@@ -39,19 +45,24 @@ type kind =
   | Barrier_node of { implicit : bool; loc : Minilang.Loc.t }
   | Check_site of { check : Minilang.Ast.check; stmt : Minilang.Ast.stmt }
 
-type node = {
-  id : int;
-  kind : kind;
-  mutable succs : int list;  (** Order significant for [Cond]. *)
-  mutable preds : int list;
-}
+type node = { id : int; kind : kind }
+
+(** Construction-time dynamic adjacency buffer (internal). *)
+type adj
+
+(** Frozen CSR adjacency (internal; see {!freeze}). *)
+type csr
 
 type t = {
   fname : string;
   mutable nodes : node array;
+  mutable succ_adj : adj array;
+  mutable pred_adj : adj array;
   mutable count : int;
   entry : int;
   exit : int;
+  mutable csr : csr option;
+  edges : (int, unit) Hashtbl.t;
 }
 
 val entry_id : int
@@ -65,9 +76,30 @@ val node : t -> int -> node
 
 val kind : t -> int -> kind
 
+(** Successor ids in insertion order (significant for [Cond]: true branch
+    first).  Allocates; hot paths should prefer {!iter_succs} and
+    friends. *)
 val succs : t -> int -> int list
 
 val preds : t -> int -> int list
+
+val iter_succs : t -> int -> (int -> unit) -> unit
+
+val iter_preds : t -> int -> (int -> unit) -> unit
+
+val fold_succs : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val fold_preds : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+(** [nth_succ g id k] is the [k]-th successor of [id] (0-based, insertion
+    order); bounds are the caller's responsibility via {!out_degree}. *)
+val nth_succ : t -> int -> int -> int
+
+val nth_pred : t -> int -> int -> int
 
 val iter_nodes : t -> (node -> unit) -> unit
 
@@ -80,9 +112,18 @@ val create : string -> t
 
 val add_node : t -> kind -> int
 
+(** O(1) amortised append; parallel edges are kept. *)
 val add_edge : t -> int -> int -> unit
 
+(** O(1) hashed edge-membership test. *)
 val has_edge : t -> int -> int -> bool
+
+(** Pack the adjacency into immutable CSR arrays.  Idempotent; every
+    adjacency query freezes implicitly, so calling this is only needed to
+    control {e when} the packing cost is paid. *)
+val freeze : t -> unit
+
+val is_frozen : t -> bool
 
 (** Source location a node can be reported at. *)
 val node_loc : t -> int -> Minilang.Loc.t

@@ -21,28 +21,28 @@ let check g =
         (fun s ->
           if not (List.mem n.id (preds g s)) then
             add "edge %d->%d missing from preds" n.id s)
-        n.succs;
+        (succs g n.id);
       List.iter
         (fun p ->
           if not (List.mem n.id (succs g p)) then
             add "edge %d->%d missing from succs" p n.id)
-        n.preds);
+        (preds g n.id));
   if preds g g.entry <> [] then add "entry has predecessors";
   if succs g g.exit <> [] then add "exit has successors";
   let reach = Traversal.reachable g in
   iter_nodes g (fun n ->
       if reach.(n.id) then begin
+        let degree = out_degree g n.id in
         (match n.kind with
         | Cond _ ->
-            if List.length n.succs <> 2 then
-              add "cond %d has %d successors" n.id (List.length n.succs)
+            if degree <> 2 then add "cond %d has %d successors" n.id degree
         | Exit -> ()
         | Omp_begin { kind = Rsections _; _ } ->
-            if n.succs = [] then add "sections dispatch %d has no successors" n.id
+            if degree = 0 then add "sections dispatch %d has no successors" n.id
         | Entry | Simple _ | Collective _ | Call_site _ | Return_site _
         | Omp_begin _ | Omp_end _ | Barrier_node _ | Check_site _ ->
-            if List.length n.succs <> 1 then
-              add "interior node %d has %d successors" n.id (List.length n.succs));
+            if degree <> 1 then
+              add "interior node %d has %d successors" n.id degree);
         if n.id <> g.exit && not (Traversal.path_exists g n.id g.exit) then
           add "node %d cannot reach the exit" n.id
       end);

@@ -11,16 +11,22 @@ type loop = {
 }
 
 (** All natural loops of [g], grouped by header, headers in increasing
-    order. *)
-let detect g =
-  let dom = Dominance.compute g Dominance.Forward in
+    order.  [dom], when provided, must be the forward dominator tree of
+    [g] (e.g. the one cached in {!Actx}); it is computed otherwise. *)
+let detect ?dom g =
+  let dom =
+    match dom with
+    | Some d ->
+        if d.Dominance.dir <> Dominance.Forward then
+          invalid_arg "Loops.detect: dom must be a Forward tree";
+        d
+    | None -> Dominance.compute g Dominance.Forward
+  in
   let back_edges = ref [] in
   iter_nodes g (fun n ->
-      List.iter
-        (fun s ->
+      iter_succs g n.id (fun s ->
           if Dominance.dominates dom s n.id then
-            back_edges := (n.id, s) :: !back_edges)
-        n.succs);
+            back_edges := (n.id, s) :: !back_edges));
   let by_header = Hashtbl.create 8 in
   List.iter
     (fun (tail, header) ->
@@ -43,13 +49,11 @@ let detect g =
       | [] -> ()
       | id :: rest ->
           stack := rest;
-          List.iter
-            (fun p ->
+          iter_preds g id (fun p ->
               if not (Hashtbl.mem in_body p) then begin
                 Hashtbl.replace in_body p ();
                 stack := p :: !stack
-              end)
-            (preds g id);
+              end);
           drain ()
     in
     drain ();

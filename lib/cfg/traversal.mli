@@ -1,11 +1,20 @@
-(** Graph traversals and orderings over {!Graph.t}. *)
+(** Graph traversals and orderings over {!Graph.t}, iterating the packed
+    CSR adjacency with an explicit DFS stack. *)
 
-(** Depth-first postorder of the nodes reachable from [root] along
-    [next]. *)
-val postorder :
-  Graph.t -> root:int -> next:(Graph.t -> int -> int list) -> int list
+(** Depth-first postorder of the nodes reachable from [root], following
+    successors ([backward:false]) or predecessors ([backward:true]). *)
+val postorder_array : Graph.t -> root:int -> backward:bool -> int array
 
 (** Reverse postorder from the entry, following successors. *)
+val rpo_array : Graph.t -> int array
+
+(** Reverse postorder on the edge-reversed graph, from the exit. *)
+val rpo_backward_array : Graph.t -> int array
+
+(** List version of {!postorder_array}. *)
+val postorder : Graph.t -> root:int -> backward:bool -> int list
+
+(** List version of {!rpo_array}. *)
 val reverse_postorder : Graph.t -> int list
 
 (** Reachability from the entry, indexed by node id. *)

@@ -47,12 +47,15 @@ type report = {
 
 let analyze_func ?graph ?call_collects options (f : Ast.func) =
   let g = match graph with Some g -> g | None -> Cfg.Build.of_func f in
-  let pword = Pword.compute ~initial:options.initial_word g in
+  (* One analysis context per function per run: every phase shares the
+     packed graph, cached traversal orders, dominator trees and taint. *)
+  let actx = Cfg.Actx.create g in
+  let pword = Pword.compute ~initial:options.initial_word ~actx g in
   let phase1 = Monothread.analyze pword in
   let phase2 = Concurrency.analyze pword in
   let phase3 =
-    Interproc.analyze ?call_collects g ~taint_filter:options.taint_filter
-      ~params:f.Ast.params
+    Interproc.analyze ?call_collects ~actx g
+      ~taint_filter:options.taint_filter ~params:f.Ast.params
   in
   let inconsistency_warnings =
     List.map
@@ -88,13 +91,61 @@ let analyze_func ?graph ?call_collects options (f : Ast.func) =
     cc_sites = Interproc.cc_sites phase3;
   }
 
+(** Per-function analysis fan-out over OCaml 5 domains.
+
+    The work items are independent: each function is analysed against its
+    own graph and context; the only shared inputs are the AST and the
+    [call_collects] closure, whose callgraph table is fully built before
+    any domain starts and only read afterwards.  An atomic counter hands
+    out indices; each worker writes its result into a dedicated slot, so
+    the merged list is in source order regardless of scheduling — reports
+    are byte-identical to the sequential path. *)
+let run_parallel ~jobs nitems work =
+  let results = Array.make nitems None in
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= nitems || Atomic.get failure <> None then continue := false
+      else
+        match work i with
+        | r -> results.(i) <- Some r
+        | exception exn ->
+            (* First failure wins; other workers drain and stop. *)
+            ignore
+              (Atomic.compare_and_set failure None
+                 (Some (exn, Printexc.get_raw_backtrace ())));
+            continue := false
+    done
+  in
+  let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned;
+  (match Atomic.get failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ());
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> invalid_arg "Driver.run_parallel: missing result")
+       results)
+
 (** Run the full static analysis.  The program should already pass
     {!Minilang.Validate}.  [graphs], when provided, must be the CFGs of the
     program's functions in source order (as built by
     {!Cfg.Build.of_program}): the analysis then runs in the middle of an
     existing compilation pipeline without rebuilding them, as PARCOACH does
-    inside the compiler. *)
-let analyze ?(options = default_options) ?graphs (program : Ast.program) =
+    inside the compiler.
+
+    [jobs] caps the number of domains analysing functions concurrently;
+    the default is [min (Domain.recommended_domain_count ()) nfuncs].
+    [jobs:1] runs the plain sequential loop.  The report is identical
+    whatever the job count. *)
+let analyze ?(options = default_options) ?graphs ?jobs
+    (program : Ast.program) =
   let call_collects =
     if options.interprocedural then Some (Callgraph.may_collect program)
     else None
@@ -102,16 +153,27 @@ let analyze ?(options = default_options) ?graphs (program : Ast.program) =
   let call_colors =
     if options.interprocedural then Callgraph.call_colors program else []
   in
-  let funcs =
+  let items =
     match graphs with
-    | None ->
-        List.map (analyze_func ?call_collects options) program.Ast.funcs
+    | None -> List.map (fun f -> (None, f)) program.Ast.funcs
     | Some graphs ->
         if List.length graphs <> List.length program.Ast.funcs then
           invalid_arg "Driver.analyze: graphs do not match the program";
-        List.map2
-          (fun graph f -> analyze_func ~graph ?call_collects options f)
-          graphs program.Ast.funcs
+        List.map2 (fun g f -> (Some g, f)) graphs program.Ast.funcs
+  in
+  let nitems = List.length items in
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Driver.analyze: jobs must be >= 1"
+    | Some j -> min j nitems
+    | None -> min (Domain.recommended_domain_count ()) nitems
+  in
+  let analyze_item (graph, f) = analyze_func ?graph ?call_collects options f in
+  let funcs =
+    if jobs <= 1 || nitems <= 1 then List.map analyze_item items
+    else
+      let arr = Array.of_list items in
+      run_parallel ~jobs nitems (fun i -> analyze_item arr.(i))
   in
   { program; options; funcs; call_colors }
 

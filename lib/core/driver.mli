@@ -39,10 +39,18 @@ type report = {
 (** Run the full static analysis on a validated program.  [graphs], when
     given, must be the CFGs of the program's functions in source order
     (from {!Cfg.Build.of_program}): the analysis then reuses them instead
-    of rebuilding, as PARCOACH does inside the compiler. *)
+    of rebuilding, as PARCOACH does inside the compiler.
+
+    [jobs] bounds the number of OCaml 5 domains analysing functions in
+    parallel; it defaults to
+    [min (Domain.recommended_domain_count ()) nfuncs], and [jobs:1]
+    forces the sequential path.  Results are merged in source order, so
+    the report (warnings, CC sites, JSON) is byte-identical for every
+    job count. *)
 val analyze :
   ?options:options ->
   ?graphs:Cfg.Graph.t list ->
+  ?jobs:int ->
   Minilang.Ast.program ->
   report
 

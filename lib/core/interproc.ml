@@ -31,14 +31,17 @@ type result = {
 
 (** Longest-path collective depth of every node: number of collective (or
     pseudo-collective) nodes on the longest entry path, computed on the
-    acyclic condensation — loops are cut by ignoring back edges. *)
-let collective_depths ?(is_site = fun _ -> false) g =
+    acyclic condensation — loops are cut by ignoring back edges.  [actx],
+    when given, supplies the cached reverse postorder. *)
+let collective_depths ?(is_site = fun _ -> false) ?actx g =
   let n = Graph.nb_nodes g in
   let depth = Array.make n 0 in
-  let rpo = Traversal.reverse_postorder g in
+  let rpo =
+    match actx with Some a -> Actx.rpo a | None -> Traversal.rpo_array g
+  in
   let index = Array.make n (-1) in
-  List.iteri (fun i id -> index.(id) <- i) rpo;
-  List.iter
+  Array.iteri (fun i id -> index.(id) <- i) rpo;
+  Array.iter
     (fun id ->
       let here =
         match Graph.kind g id with
@@ -46,13 +49,13 @@ let collective_depths ?(is_site = fun _ -> false) g =
         | _ -> if is_site id then 1 else 0
       in
       let best =
-        List.fold_left
+        Graph.fold_preds g id
           (fun acc p ->
             (* Ignore back edges (preds later in RPO). *)
             if index.(p) >= 0 && index.(p) < index.(id) then
               max acc depth.(p)
             else acc)
-          0 (Graph.preds g id)
+          0
       in
       depth.(id) <- best + here)
     rpo;
@@ -70,8 +73,20 @@ let is_cond g id =
     [call_collects], when provided, enables the interprocedural extension:
     call sites whose callee may (transitively) execute a collective are
     treated as pseudo-collective sites named ["call:<fname>"], so a
-    rank-dependent branch around such a call is flagged too. *)
-let analyze ?call_collects g ~taint_filter ~params =
+    rank-dependent branch around such a call is flagged too.
+
+    [actx], when given, must be the analysis context of [g]: the
+    post-dominator tree, its frontiers, the reverse postorder and the
+    rank-taint predicate are then taken from (and cached in) the context
+    instead of being recomputed here. *)
+let analyze ?call_collects ?actx g ~taint_filter ~params =
+  let actx =
+    match actx with
+    | Some a when not (Actx.graph a == g) ->
+        invalid_arg "Interproc.analyze: actx belongs to a different graph"
+    | Some a -> a
+    | None -> Actx.create g
+  in
   let is_call_site id =
     match (call_collects, Graph.kind g id) with
     | Some collects, Graph.Call_site { fname; _ } -> collects fname
@@ -83,7 +98,7 @@ let analyze ?call_collects g ~taint_filter ~params =
       []
     |> List.rev
   in
-  let depths = collective_depths ~is_site:is_call_site g in
+  let depths = collective_depths ~is_site:is_call_site ~actx g in
   let by_class = Hashtbl.create 16 in
   let add key id =
     let existing = Option.value ~default:[] (Hashtbl.find_opt by_class key) in
@@ -104,17 +119,15 @@ let analyze ?call_collects g ~taint_filter ~params =
       | _ -> ())
     call_sites;
   let rank_dependent =
-    if taint_filter then Dataflow.cond_rank_dependent g ~params
-    else fun _ -> true
+    if taint_filter then Actx.rank_dependent actx ~params else fun _ -> true
   in
-  (* The post-dominator tree and frontiers are shared by every class. *)
-  let pdom = Dominance.compute g Dominance.Backward in
-  let frontiers = Dominance.frontiers pdom in
+  (* The post-dominator tree and frontiers live in the context: shared by
+     every class here, and with every other phase of the pipeline. *)
   let classes =
     Hashtbl.fold
       (fun (name, depth) nodes acc ->
         let nodes = List.sort Int.compare nodes in
-        let pdf = Dominance.iterated_frontier pdom frontiers nodes in
+        let pdf = Actx.pdf_plus actx nodes in
         let conds =
           List.filter (fun id -> is_cond g id && rank_dependent id) pdf
         in

@@ -16,16 +16,21 @@ type result = {
 }
 
 (** Longest-path collective depth of every node (back edges ignored);
-    [is_site] marks additional pseudo-collective nodes. *)
-val collective_depths : ?is_site:(int -> bool) -> Cfg.Graph.t -> int array
+    [is_site] marks additional pseudo-collective nodes.  [actx], when
+    given, supplies the cached reverse postorder. *)
+val collective_depths :
+  ?is_site:(int -> bool) -> ?actx:Cfg.Actx.t -> Cfg.Graph.t -> int array
 
 (** [analyze g ~taint_filter ~params]: with [taint_filter:true], only
     rank-dependent conditionals (per {!Cfg.Dataflow.rank_taint}) are
     retained.  [call_collects] enables the interprocedural extension:
     call sites whose callee may execute collectives become
-    pseudo-collective sites named ["call:<fname>"]. *)
+    pseudo-collective sites named ["call:<fname>"].  [actx], when given,
+    must be the {!Cfg.Actx} of [g]: the post-dominator tree, frontiers and
+    taint predicate are taken from (and cached in) the context. *)
 val analyze :
   ?call_collects:(string -> bool) ->
+  ?actx:Cfg.Actx.t ->
   Cfg.Graph.t ->
   taint_filter:bool ->
   params:string list ->

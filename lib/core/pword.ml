@@ -120,8 +120,18 @@ type t = {
     A worklist fixpoint handles loops: the join {!merge} keeps the longest
     common prefix when incoming words differ only by trailing barriers, so
     barrier-crossing loop bodies converge; genuinely conflicting words are
-    reported as inconsistencies (and the first word wins). *)
-let compute ?(initial = []) g =
+    reported as inconsistencies (and the first word wins).
+
+    [actx], when given, must be the analysis context of [g]: the worklist
+    is then seeded with its cached reverse postorder instead of
+    retraversing the graph. *)
+let compute ?(initial = []) ?actx g =
+  let rpo =
+    match actx with
+    | Some a when Actx.graph a == g -> Actx.rpo a
+    | Some _ -> invalid_arg "Pword.compute: actx belongs to a different graph"
+    | None -> Traversal.rpo_array g
+  in
   let n = Graph.nb_nodes g in
   let in_words = Array.make n None in
   let out_words = Array.make n None in
@@ -134,7 +144,7 @@ let compute ?(initial = []) g =
       Queue.add id worklist
     end
   in
-  List.iter enqueue (Traversal.reverse_postorder g);
+  Array.iter enqueue rpo;
   while not (Queue.is_empty worklist) do
     let id = Queue.pop worklist in
     queued.(id) <- false;
@@ -155,6 +165,8 @@ let compute ?(initial = []) g =
                         { node = id; word_a = wa; word_b = wb };
                     Some a))
           None (Graph.preds g id)
+      (* [preds] order is the edge-insertion order, as before the packed
+         representation: inconsistency reporting stays byte-identical. *)
     in
     match in_word with
     | None -> ()
@@ -172,7 +184,7 @@ let compute ?(initial = []) g =
           in
           if out_changed then begin
             out_words.(id) <- Some out;
-            List.iter enqueue (Graph.succs g id)
+            Graph.iter_succs g id enqueue
           end
         end
   done;
