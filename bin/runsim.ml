@@ -11,10 +11,14 @@ let read_program file bench =
   | None, Some name -> (
       match Benchsuite.Catalog.find name with
       | Some entry -> entry.Benchsuite.Catalog.generate_small ()
-      | None ->
-          Fmt.epr "unknown benchmark '%s'; known: %s@." name
-            (String.concat ", " Benchsuite.Catalog.names);
-          exit 2)
+      | None -> (
+          match Benchsuite.Reproducers.find name with
+          | Some entry -> Benchsuite.Reproducers.program entry
+          | None ->
+              Fmt.epr "unknown benchmark '%s'; known: %s@." name
+                (String.concat ", "
+                   (Benchsuite.Catalog.names @ Benchsuite.Reproducers.names));
+              exit 2))
   | Some _, Some _ ->
       Fmt.epr "give either a file or --bench, not both@.";
       exit 2
@@ -23,7 +27,8 @@ let read_program file bench =
       exit 2
 
 let run file bench ranks threads seed round_robin max_steps instrument jobs
-    inject show_trace must_check level =
+    inject show_trace must_check level explore branch_depth budget explore_jobs
+    =
   let program = read_program file bench in
   let issues = Minilang.Validate.check_program program in
   List.iter (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i)) issues;
@@ -61,6 +66,24 @@ let run file bench ranks threads seed round_robin max_steps instrument jobs
       thread_level = level;
     }
   in
+  if explore then begin
+    if explore_jobs < 1 then begin
+      Fmt.epr "--explore-jobs must be at least 1 (got %d)@." explore_jobs;
+      exit 2
+    end;
+    let summary =
+      Interp.Explore.outcomes ~branch_depth ~budget ~jobs:explore_jobs ~config
+        program
+    in
+    Fmt.pr "%a@." Interp.Explore.pp_summary summary;
+    if
+      summary.Interp.Explore.faulted > 0
+      || summary.Interp.Explore.deadlocked > 0
+      || summary.Interp.Explore.step_limited > 0
+    then exit 5
+    else if summary.Interp.Explore.aborted > 0 then exit 4
+    else exit 0
+  end;
   let result = Interp.Sim.run ~config program in
   Fmt.pr "outcome: %a@." Interp.Sim.pp_outcome result.Interp.Sim.outcome;
   let stats = result.Interp.Sim.stats in
@@ -195,6 +218,37 @@ let level =
            (single, funneled, serialized, multiple); collectives issued \
            from contexts requiring more are rejected.")
 
+let explore =
+  Arg.(
+    value & flag
+    & info [ "explore" ]
+        ~doc:
+          "Instead of one run, systematically explore scheduler choices \
+           (with state-fingerprint pruning) and classify every outcome.")
+
+let branch_depth =
+  Arg.(
+    value & opt int 8
+    & info [ "branch-depth" ] ~docv:"N"
+        ~doc:"With $(b,--explore): branch over the first $(docv) steps.")
+
+let budget =
+  Arg.(
+    value & opt int 2000
+    & info [ "budget" ] ~docv:"N"
+        ~doc:
+          "With $(b,--explore): replay at most $(docv) schedules (pruned \
+           subtrees are credited without replaying).")
+
+let explore_jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "explore-jobs" ] ~docv:"N"
+        ~doc:
+          "With $(b,--explore): replay each exploration wave on up to \
+           $(docv) OCaml domains; the summary is identical whatever \
+           $(docv) is.")
+
 let cmd =
   let doc = "run hybrid MPI+OpenMP programs on the simulated runtime" in
   Cmd.v
@@ -202,6 +256,6 @@ let cmd =
     Term.(
       const run $ file $ bench $ ranks $ threads $ seed $ round_robin
       $ max_steps $ instrument $ jobs $ inject $ show_trace $ must_check
-      $ level)
+      $ level $ explore $ branch_depth $ budget $ explore_jobs)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,81 @@
+(** Small named reproducer programs for the dynamic side of the
+    evaluation: each one exhibits an interleaving-dependent or
+    rank-divergent behaviour that the bounded schedule explorer
+    ({!Interp.Explore}) is meant to find deterministically.  The bench
+    harness, the CLI and the tests share these sources instead of each
+    keeping private copies. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+}
+
+let all =
+  [
+    {
+      name = "deadlock-barrier";
+      description =
+        "rank-divergent barrier after uniform compute: every schedule \
+         deadlocks, at many interleaved depths";
+      source =
+        {|func main() {
+  compute(1);
+  compute(1);
+  if (rank() == 0) { MPI_Barrier(); }
+  compute(1);
+}|};
+    };
+    {
+      name = "racy-singles";
+      description =
+        "two nowait singles with hand-inserted concurrency counters: \
+         aborts only on schedules where the regions overlap";
+      source =
+        {|func main() {
+  pragma omp parallel num_threads(2) {
+    pragma omp single nowait { __count_enter(1); MPI_Barrier(); __count_exit(1); }
+    pragma omp single { __count_enter(1); MPI_Allgather(1); __count_exit(1); }
+  }
+}|};
+    };
+    {
+      name = "master-vs-single";
+      description = "master and single regions racing into different collectives";
+      source =
+        {|func main() {
+  pragma omp parallel num_threads(2) {
+    pragma omp master { MPI_Barrier(); }
+    pragma omp single { MPI_Allgather(1); }
+  }
+}|};
+    };
+    {
+      name = "sections-collectives";
+      description = "three sections, two of which issue different collectives";
+      source =
+        {|func main() {
+  pragma omp parallel num_threads(3) {
+    pragma omp sections {
+      section { MPI_Barrier(); }
+      section { MPI_Allgather(1); }
+      section { compute(3); }
+    }
+  }
+}|};
+    };
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+(** Parse an entry's source (the sources are fixed and valid: a failure
+    here is a bug in this module). *)
+let program e = Minilang.Parser.parse_string ~file:e.name e.source
+
+(** [find] + [program].  @raise Invalid_argument on an unknown name. *)
+let load name =
+  match find name with
+  | Some e -> program e
+  | None -> invalid_arg (Printf.sprintf "Reproducers.load: unknown '%s'" name)

@@ -1,0 +1,21 @@
+(** Named reproducer programs for schedule exploration: small sources
+    whose interesting behaviour (deadlock, racy overlap) depends on the
+    interleaving, shared by the bench harness, the CLI and the tests. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;  (** Mini-language source, parseable as-is. *)
+}
+
+val all : entry list
+
+val names : string list
+
+val find : string -> entry option
+
+(** Parse an entry's source. *)
+val program : entry -> Minilang.Ast.program
+
+(** [find] + [program].  @raise Invalid_argument on an unknown name. *)
+val load : string -> Minilang.Ast.program

@@ -7,18 +7,30 @@
     small reproducer programs of this repository, the racing schedules of
     phase-2 bugs are found deterministically instead of "for some seed".
 
-    The exploration replays the program from scratch for every prefix
-    (executions are cheap and the simulator is deterministic), so no state
-    snapshotting is needed. *)
+    The engine replays the program from scratch for every prefix
+    (executions are cheap and the simulator is deterministic), but prunes
+    with state fingerprints: when two prefixes of the same length reach
+    the same {!Sim} state fingerprint, the second becomes a {e clone} of
+    the first — its subtree is never replayed, and its outcome counts are
+    credited from the original's subtree after exploration.  Since equal
+    states have isomorphic futures, the per-class counts and the set of
+    reachable classes match the unpruned enumeration exactly (modulo
+    fingerprint collisions, see docs/PERFORMANCE.md).
 
-(** Outcome classes, with a witness schedule script per class. *)
+    Replays of one breadth-first wave run on OCaml 5 domains; all
+    bookkeeping (memo decisions, witness selection, child enumeration)
+    happens on the coordinator in frontier order, so the summary is
+    byte-identical whatever [jobs] is. *)
+
 type summary = {
   finished : int;
   aborted : int;
   faulted : int;
   deadlocked : int;
   step_limited : int;
-  runs : int;
+  runs : int;  (** Schedules represented (including pruned subtrees). *)
+  replays : int;  (** Simulator executions actually performed. *)
+  pruned : int;  (** [runs - replays]: runs credited via fingerprints. *)
   witnesses : (string * int list) list;
       (** First script observed for each class name. *)
 }
@@ -31,11 +43,257 @@ let class_name (o : Sim.outcome) =
   | Sim.Deadlock _ -> "deadlock"
   | Sim.Step_limit -> "step-limit"
 
-(** [outcomes ?branch_depth ?budget ~config program] explores up to
-    [budget] schedules branching over the first [branch_depth] choices.
+(* ------------------------------------------------------------------ *)
+(* Outcome classes as fixed slots                                      *)
+(* ------------------------------------------------------------------ *)
+
+let nclasses = 5
+
+let class_index (o : Sim.outcome) =
+  match o with
+  | Sim.Finished -> 0
+  | Sim.Aborted _ -> 1
+  | Sim.Fault _ -> 2
+  | Sim.Deadlock _ -> 3
+  | Sim.Step_limit -> 4
+
+let class_names = [| "finished"; "aborted"; "fault"; "deadlock"; "step-limit" |]
+
+(* ------------------------------------------------------------------ *)
+(* Prefix tree                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** One prefix, stored as a parent pointer plus the last choice instead
+    of a materialised list, so enqueueing a child is O(1) rather than the
+    former quadratic [prefix @ [c]]. *)
+type node = {
+  id : int;  (** Creation order; indexes the count vectors. *)
+  parent : node option;
+  choice : int;  (** Script element at step [depth - 1] (root: unused). *)
+  depth : int;
+  mutable cls : int;  (** Outcome class, [-1] until replayed. *)
+  mutable original : node option;
+      (** [Some o] when this node is a fingerprint clone of [o]: same
+          depth, same state, subtree not expanded. *)
+  mutable children : node list;  (** In choice order (1, 2, ...). *)
+}
+
+let script_of node =
+  let rec up acc n =
+    match n.parent with None -> acc | Some p -> up (n.choice :: acc) p
+  in
+  up [] node
+
+(* ------------------------------------------------------------------ *)
+(* Replays                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** What the coordinator needs from one replay: the outcome class, the
+    state fingerprint where the prefix ended (absent when the run
+    terminated inside the prefix — such a node is a leaf), and the
+    branching degree at the first unscripted step. *)
+type replay_info = { r_cls : int; r_fp : int option; r_degree : int }
+
+let replay_node ~probe ~(config : Sim.config) program node =
+  let config =
+    (* Exploration never reads the print trace; recording it would
+       allocate on every run. *)
+    {
+      config with
+      Sim.schedule = `Scripted (script_of node);
+      Sim.record_trace = false;
+    }
+  in
+  let result = Sim.run ~config ~probe program in
+  let stats = result.Sim.stats in
+  let r_fp =
+    if Sim.probe_recorded probe > node.depth then
+      Some (Sim.probe_fingerprint probe node.depth)
+    else None
+  in
+  let r_degree =
+    if stats.Sim.ndegrees > node.depth then stats.Sim.degrees.(node.depth)
+    else 0
+  in
+  { r_cls = class_index result.Sim.outcome; r_fp; r_degree }
+
+(** Replay [frontier.(0 .. to_replay - 1)] into [infos], fanning out on
+    domains.  Workers only execute; they never touch shared mutable
+    exploration state, so the handout order (an atomic counter, as in
+    [Driver.analyze]) does not affect the result.  The first failure in
+    frontier order is re-raised with its backtrace. *)
+let replay_wave ~probes ~config program (frontier : node array) infos to_replay
+    =
+  let jobs = Array.length probes in
+  let errors = Array.make to_replay None in
+  let next = Atomic.make 0 in
+  let worker probe =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < to_replay then begin
+        (try infos.(i) <- Some (replay_node ~probe ~config program frontier.(i))
+         with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        go ()
+      end
+    in
+    go ()
+  in
+  if jobs <= 1 || to_replay <= 1 then worker probes.(0)
+  else begin
+    let helpers =
+      Array.init
+        (min (jobs - 1) (to_replay - 1))
+        (fun k -> Domain.spawn (fun () -> worker probes.(k + 1)))
+    in
+    worker probes.(0);
+    Array.iter Domain.join helpers
+  end;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+    errors
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [outcomes ?branch_depth ?budget ?jobs ~config program] explores the
+    prefix tree breadth-first, replaying at most [budget] schedules
+    (pruned subtrees are credited, not replayed, so [runs] may exceed
+    [budget]) and branching over the first [branch_depth] choices.
     [config.schedule] is ignored (every run is scripted). *)
-let outcomes ?(branch_depth = 8) ?(budget = 2000) ~(config : Sim.config)
-    program =
+let outcomes ?(branch_depth = 8) ?(budget = 2000) ?(jobs = 1)
+    ~(config : Sim.config) program =
+  if branch_depth < 0 then
+    invalid_arg "Explore.outcomes: branch_depth must be >= 0";
+  if budget < 0 then invalid_arg "Explore.outcomes: budget must be >= 0";
+  if jobs < 1 then invalid_arg "Explore.outcomes: jobs must be >= 1";
+  let ids = Sim.stmt_ids program in
+  (* One reusable probe per worker: the fingerprint buffer is allocated
+     once and amortised over every replay the worker performs. *)
+  let probes =
+    Array.init jobs (fun _ -> Sim.make_probe ~depth:branch_depth ~ids)
+  in
+  let next_id = ref 0 in
+  let mk ~parent ~choice ~depth =
+    let n =
+      { id = !next_id; parent; choice; depth; cls = -1; original = None;
+        children = [] }
+    in
+    incr next_id;
+    n
+  in
+  let root = mk ~parent:None ~choice:0 ~depth:0 in
+  (* (depth, fingerprint) -> first node that reached that state. *)
+  let memo : (int * int, node) Hashtbl.t = Hashtbl.create 256 in
+  (* Fixed slot per outcome class instead of an assoc-list scan. *)
+  let wit_scripts = Array.make nclasses None in
+  let wit_order = ref [] in
+  let replays = ref 0 in
+  let budget_left = ref budget in
+  let waves = ref [] in  (* processed (frontier, infos), deepest first *)
+  let frontier = ref [| root |] in
+  while Array.length !frontier > 0 do
+    let fr = !frontier in
+    let to_replay = min (Array.length fr) !budget_left in
+    budget_left := !budget_left - to_replay;
+    let infos = Array.make (Array.length fr) None in
+    if to_replay > 0 then
+      replay_wave ~probes ~config program fr infos to_replay;
+    (* Coordinator: everything below is sequential and in frontier
+       order, so memo decisions, witnesses and child order are
+       independent of how workers interleaved. *)
+    let next_wave = ref [] in
+    Array.iteri
+      (fun i node ->
+        match infos.(i) with
+        | None -> ()  (* truncated by the budget *)
+        | Some info ->
+            incr replays;
+            node.cls <- info.r_cls;
+            if wit_scripts.(info.r_cls) = None then begin
+              wit_scripts.(info.r_cls) <- Some (script_of node);
+              wit_order := info.r_cls :: !wit_order
+            end;
+            (match info.r_fp with
+            | None -> ()  (* run ended inside the prefix: leaf *)
+            | Some fp -> (
+                let key = (node.depth, fp) in
+                match Hashtbl.find_opt memo key with
+                | Some orig -> node.original <- Some orig
+                | None ->
+                    Hashtbl.add memo key node;
+                    if node.depth < branch_depth && info.r_degree > 1 then begin
+                      (* Choice 0 is the deterministic extension this
+                         replay just executed; enumerate alternatives. *)
+                      let kids = ref [] in
+                      for c = info.r_degree - 1 downto 1 do
+                        kids :=
+                          mk ~parent:(Some node) ~choice:c
+                            ~depth:(node.depth + 1)
+                          :: !kids
+                      done;
+                      node.children <- !kids;
+                      next_wave := !kids :: !next_wave
+                    end)))
+      fr;
+    waves := (fr, infos) :: !waves;
+    frontier := Array.of_list (List.concat (List.rev !next_wave))
+  done;
+  (* Credit counts bottom-up.  [!waves] is deepest wave first, and all
+     nodes of one depth live in one wave, so: children (next wave) are
+     done before their parent, and a clone's original (same wave,
+     earlier in frontier order) is done before the clone. *)
+  let vec = Array.make (!next_id * nclasses) 0 in
+  List.iter
+    (fun (fr, infos) ->
+      Array.iteri
+        (fun i node ->
+          let base = node.id * nclasses in
+          match infos.(i) with
+          | None -> ()  (* truncated: contributes nothing *)
+          | Some _ -> (
+              match node.original with
+              | Some orig ->
+                  Array.blit vec (orig.id * nclasses) vec base nclasses
+              | None ->
+                  vec.(base + node.cls) <- 1;
+                  List.iter
+                    (fun child ->
+                      let cb = child.id * nclasses in
+                      for k = 0 to nclasses - 1 do
+                        vec.(base + k) <- vec.(base + k) + vec.(cb + k)
+                      done)
+                    node.children))
+        fr)
+    !waves;
+  let total k = vec.((root.id * nclasses) + k) in
+  let runs = total 0 + total 1 + total 2 + total 3 + total 4 in
+  {
+    finished = total 0;
+    aborted = total 1;
+    faulted = total 2;
+    deadlocked = total 3;
+    step_limited = total 4;
+    runs;
+    replays = !replays;
+    pruned = runs - !replays;
+    witnesses =
+      List.rev_map
+        (fun c -> (class_names.(c), Option.get wit_scripts.(c)))
+        !wit_order;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** The original depth-first, unpruned, sequential enumeration, kept as
+    the baseline the bench compares against and as the oracle for the
+    equivalence properties in the tests.  One replay per represented
+    run: [replays = runs], [pruned = 0]. *)
+let outcomes_reference ?(branch_depth = 8) ?(budget = 2000)
+    ~(config : Sim.config) program =
   let summary =
     ref
       {
@@ -45,6 +303,8 @@ let outcomes ?(branch_depth = 8) ?(budget = 2000) ~(config : Sim.config)
         deadlocked = 0;
         step_limited = 0;
         runs = 0;
+        replays = 0;
+        pruned = 0;
         witnesses = [];
       }
   in
@@ -63,7 +323,7 @@ let outcomes ?(branch_depth = 8) ?(budget = 2000) ~(config : Sim.config)
       if List.mem_assoc name s.witnesses then s
       else { s with witnesses = (name, script) :: s.witnesses }
     in
-    summary := { s with runs = s.runs + 1 }
+    summary := { s with runs = s.runs + 1; replays = s.replays + 1 }
   in
   let budget_left = ref budget in
   let rec explore prefix =
@@ -73,40 +333,36 @@ let outcomes ?(branch_depth = 8) ?(budget = 2000) ~(config : Sim.config)
       let result = Sim.run ~config:cfg program in
       record prefix result.Sim.outcome;
       let depth = List.length prefix in
-      if depth < branch_depth then begin
+      if depth < branch_depth && depth < result.Sim.stats.Sim.ndegrees then begin
         (* Branching degree at the first unscripted step of this run. *)
-        let degrees = List.rev result.Sim.stats.Sim.degrees in
-        match List.nth_opt degrees depth with
-        | Some d when d > 1 ->
-            (* Choice 0 is (approximately) the deterministic extension just
-               executed; enumerate the alternatives. *)
-            for c = 1 to d - 1 do
-              explore (prefix @ [ c ])
-            done
-        | _ -> ()
+        let d = result.Sim.stats.Sim.degrees.(depth) in
+        if d > 1 then
+          for c = 1 to d - 1 do
+            explore (prefix @ [ c ])
+          done
       end
     end
   in
   explore [];
-  !summary
+  { !summary with witnesses = List.rev !summary.witnesses }
 
 let pp_summary ppf s =
   Fmt.pf ppf
-    "%d schedule(s): %d finished, %d aborted, %d fault, %d deadlock, %d \
-     step-limit"
-    s.runs s.finished s.aborted s.faulted s.deadlocked s.step_limited;
+    "%d schedule(s) (%d replayed, %d pruned): %d finished, %d aborted, %d \
+     fault, %d deadlock, %d step-limit"
+    s.runs s.replays s.pruned s.finished s.aborted s.faulted s.deadlocked
+    s.step_limited;
   List.iter
     (fun (name, script) ->
       Fmt.pf ppf "@\n  %s witness: [%a]" name
         (Fmt.list ~sep:(Fmt.any ";") Fmt.int)
         script)
-    (List.rev s.witnesses)
+    s.witnesses
 
 let summary_to_string s = Fmt.str "%a" pp_summary s
 
 (** Does some explored schedule reach each of the given classes? *)
-let reaches s name =
-  List.mem_assoc name s.witnesses
+let reaches s name = List.mem_assoc name s.witnesses
 
 (** Replay a witness script. *)
 let replay ~(config : Sim.config) program script =

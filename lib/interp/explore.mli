@@ -2,7 +2,14 @@
     systematically enumerate the scheduler's choices at the first
     [branch_depth] steps, classify every outcome, and keep a witness
     schedule per class — racing schedules of interleaving-dependent bugs
-    are found deterministically instead of by seed sampling. *)
+    are found deterministically instead of by seed sampling.
+
+    {!outcomes} prunes with state fingerprints (prefixes converging to
+    the same simulator state are explored once, their subtree counts
+    credited) and can replay each breadth-first wave on OCaml 5 domains;
+    the summary is byte-identical whatever [jobs] is.
+    {!outcomes_reference} is the original unpruned depth-first engine,
+    kept as baseline and test oracle. *)
 
 type summary = {
   finished : int;
@@ -10,16 +17,33 @@ type summary = {
   faulted : int;
   deadlocked : int;
   step_limited : int;
-  runs : int;
+  runs : int;  (** Schedules represented (including pruned subtrees). *)
+  replays : int;  (** Simulator executions actually performed. *)
+  pruned : int;  (** [runs - replays]: runs credited via fingerprints. *)
   witnesses : (string * int list) list;
-      (** First witness script observed per class name. *)
+      (** First witness script observed per class name, in observation
+          order. *)
 }
 
 val class_name : Sim.outcome -> string
 
-(** Explore up to [budget] schedules branching over the first
-    [branch_depth] choices; [config.schedule] is ignored. *)
+(** Explore breadth-first with fingerprint pruning, replaying at most
+    [budget] schedules ([runs] may exceed [budget] thanks to pruning)
+    and branching over the first [branch_depth] choices; wave replays
+    run on [jobs] domains.  [config.schedule] is ignored.
+    @raise Invalid_argument if [branch_depth < 0], [budget < 0] or
+    [jobs < 1]. *)
 val outcomes :
+  ?branch_depth:int ->
+  ?budget:int ->
+  ?jobs:int ->
+  config:Sim.config ->
+  Minilang.Ast.program ->
+  summary
+
+(** The original unpruned sequential depth-first enumeration: one replay
+    per run ([replays = runs], [pruned = 0]), budget bounds runs. *)
+val outcomes_reference :
   ?branch_depth:int ->
   ?budget:int ->
   config:Sim.config ->

@@ -54,9 +54,11 @@ type stats = {
   mutable cc_calls : int;
   mutable tasks_spawned : int;
   mutable trace : (int * int * int) list;  (** (rank, tid, value), reversed. *)
-  mutable degrees : int list;
-      (** Runnable-task counts at the first scheduling steps (reversed,
-          capped): the branching structure {!Explore} enumerates. *)
+  degrees : int array;
+      (** Runnable-task counts at the first scheduling steps, preallocated
+          and in step order ([ndegrees] entries are valid): the branching
+          structure {!Explore} enumerates. *)
+  mutable ndegrees : int;
 }
 
 type result = { outcome : outcome; stats : stats; engine : Mpisim.Engine.t }
@@ -99,6 +101,65 @@ module Stmt_tbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* ------------------------------------------------------------------ *)
+(* Exploration probe: canonical statement ids + state fingerprints      *)
+(* ------------------------------------------------------------------ *)
+
+(** Canonical statement identities: every statement of the program,
+    numbered in deterministic AST order.  Unlike encounter-order
+    numbering — which depends on the schedule — these ids are stable
+    across runs, so state fingerprints of different runs are
+    comparable. *)
+type stmt_ids = int Stmt_tbl.t
+
+let stmt_ids (program : Ast.program) : stmt_ids =
+  let tbl = Stmt_tbl.create 256 in
+  let next = ref 0 in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.fold_stmts
+        (fun () s ->
+          if not (Stmt_tbl.mem tbl s) then begin
+            Stmt_tbl.replace tbl s !next;
+            incr next
+          end)
+        () f.Ast.body)
+    program.Ast.funcs;
+  tbl
+
+(** Reusable exploration instrument: a preallocated buffer of state
+    fingerprints for the first [fp_depth] scheduling steps of a run.
+    [fingerprints.(k)] is a hash of the semantic simulator state after
+    exactly [k] steps; {!Explore} treats two runs whose fingerprints
+    agree at the same depth as having identical continuations.  One probe
+    serves many runs (one per exploration worker): [run] resets
+    [fp_recorded] on entry and fills the buffer in place — no per-run
+    allocation. *)
+type probe = {
+  fp_depth : int;
+  fingerprints : int array;  (** Length [fp_depth + 1]. *)
+  mutable fp_recorded : int;  (** Valid entries of the current run. *)
+  ids : stmt_ids;
+}
+
+let make_probe ~depth ~ids =
+  if depth < 0 then invalid_arg "Sim.make_probe: depth must be >= 0";
+  {
+    fp_depth = depth;
+    fingerprints = Array.make (depth + 1) 0;
+    fp_recorded = 0;
+    ids;
+  }
+
+let probe_depth p = p.fp_depth
+
+let probe_recorded p = p.fp_recorded
+
+let probe_fingerprint p k =
+  if k < 0 || k >= p.fp_recorded then
+    invalid_arg "Sim.probe_fingerprint: step not recorded";
+  p.fingerprints.(k)
+
 type state = {
   config : config;
   program : Ast.program;
@@ -106,7 +167,8 @@ type state = {
   mailbox : Mpisim.Mailbox.t;
   criticals : Ompsim.Critical.t array;  (** Per-rank named locks. *)
   counters : (int * int, int) Hashtbl.t;  (** (rank, region) → live count. *)
-  uids : int Stmt_tbl.t;
+  ids : stmt_ids option;  (** Canonical ids (probe runs). *)
+  uids : int Stmt_tbl.t;  (** Dynamic fallback, numbered downwards. *)
   mutable next_uid : int;
   mutable tasks : Task.t list;  (** All tasks ever spawned, oldest first. *)
   task_tbl : (int, Task.t) Hashtbl.t;
@@ -114,14 +176,26 @@ type state = {
   stats : stats;
 }
 
-let uid_of st stmt =
+(* Construct uids: canonical AST ids when a probe supplies them (so
+   [single] arbitration keys — and hence fingerprints — are stable across
+   schedules), dynamic encounter-order ids otherwise.  The dynamic
+   numbering counts downwards from -1 so the two ranges never collide. *)
+let dynamic_uid st stmt =
   match Stmt_tbl.find_opt st.uids stmt with
   | Some u -> u
   | None ->
       let u = st.next_uid in
-      st.next_uid <- u + 1;
+      st.next_uid <- u - 1;
       Stmt_tbl.replace st.uids stmt u;
       u
+
+let uid_of st stmt =
+  match st.ids with
+  | Some ids -> (
+      match Stmt_tbl.find_opt ids stmt with
+      | Some u -> u
+      | None -> dynamic_uid st stmt)
+  | None -> dynamic_uid st stmt
 
 let find_task st cookie = Hashtbl.find st.task_tbl cookie
 
@@ -133,6 +207,147 @@ let spawn st ~rank ~tid ~team ~konts =
   Hashtbl.replace st.task_tbl id t;
   st.stats.tasks_spawned <- st.stats.tasks_spawned + 1;
   t
+
+(* ------------------------------------------------------------------ *)
+(* State fingerprinting                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The fingerprint is a hash of every semantically live component of the
+   simulator state: task list (in scheduling order), continuation stacks
+   with environment values, collective rendezvous slots, point-to-point
+   inboxes, critical locks and concurrency counters.  Equal states hash
+   equal by construction; the converse is heuristic (63-bit hash, plus
+   environment *values* stand in for cell sharing structure) — see
+   docs/PERFORMANCE.md for the soundness discussion. *)
+
+let mix h x = (((h lsl 5) + h) lxor x) land max_int
+
+(* A block suffix is identified by its head statement: statements are
+   physically unique AST nodes, so the canonical id of the head pins the
+   whole remaining suffix. *)
+let block_hash ids (b : Ast.block) =
+  match b with
+  | [] -> 0x27d4eb2f
+  | s :: _ -> (
+      match Stmt_tbl.find_opt ids s with
+      | Some u -> u + 0x100
+      | None -> Hashtbl.hash s.Ast.sloc)
+
+let env_hash (env : Env.t) =
+  Env.StringMap.fold
+    (fun name cell h -> mix (mix h (Hashtbl.hash name)) !cell)
+    env 0x51ed270b
+
+let team_opt_hash = function
+  | None -> 0x5bd1e995
+  | Some (tm : Ompsim.Team.t) ->
+      let singles =
+        (* Claim-table iteration order varies; combine commutatively. *)
+        Hashtbl.fold
+          (fun key () acc -> acc + (Hashtbl.hash key lor 1))
+          tm.Ompsim.Team.singles 0
+      in
+      (* The creation-order team id (and the forker cookie) depend on the
+         schedule that spawned the team; identify it by its logical
+         coordinates instead. *)
+      let coords =
+        mix
+          (mix (mix tm.Ompsim.Team.rank tm.Ompsim.Team.size)
+             tm.Ompsim.Team.depth)
+          tm.Ompsim.Team.finished
+      in
+      mix
+        (mix coords (Ompsim.Barrier.waiting_count tm.Ompsim.Team.barrier))
+        singles
+
+let kont_hash ids (k : Task.kont) =
+  match k with
+  | Task.Kseq (b, env) -> mix (mix 1 (block_hash ids b)) (env_hash env)
+  | Task.Kwhile (c, body, env) ->
+      mix (mix (mix 2 (Hashtbl.hash c)) (block_hash ids body)) (env_hash env)
+  | Task.Kfor { var; current; stop; body; env } ->
+      mix
+        (mix
+           (mix (mix (mix 3 (Hashtbl.hash var)) current) stop)
+           (block_hash ids body))
+        (env_hash env)
+  | Task.Kcall_return -> 4
+  | Task.Kenter_single -> 5
+  | Task.Kexit_single { team; nowait } ->
+      mix (mix 6 (team_opt_hash team)) (Bool.to_int nowait)
+  | Task.Kexit_ws { team; nowait } ->
+      mix (mix 7 (team_opt_hash team)) (Bool.to_int nowait)
+  | Task.Kcritical_end name -> mix 8 (Hashtbl.hash name)
+  | Task.Kreduce_combine { op; shared; private_ } ->
+      mix (mix (mix 9 (Hashtbl.hash op)) !shared) !private_
+
+let task_hash ids h (t : Task.t) =
+  (* No [t.id]: dynamic ids depend on spawn interleaving.  The logical
+     identity is (rank, tid) plus the position in the fold. *)
+  let h = mix h t.Task.rank in
+  let h = mix h t.Task.tid in
+  let h = mix h (Task.status_hash t.Task.status) in
+  let h = mix h t.Task.single_depth in
+  let h =
+    mix h (match t.Task.wait_cell with None -> 0x61c88647 | Some c -> mix 0x2d51 !c)
+  in
+  let h = mix h (Task.encounters_hash t) in
+  let h = mix h (team_opt_hash t.Task.team) in
+  List.fold_left (fun h k -> mix h (kont_hash ids k)) h t.Task.konts
+
+let state_hash st ids =
+  (* Dynamic task ids (engine cookies, lock owners) depend on the spawn
+     interleaving; canonicalise each to the task's position in
+     scheduling order before it enters the hash. *)
+  let pos_of_id =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i t -> Hashtbl.replace tbl t.Task.id i) st.tasks;
+    fun id -> match Hashtbl.find_opt tbl id with Some i -> i | None -> -1
+  in
+  (* Task order matters (round-robin indexing), so fold in sequence. *)
+  let h = List.fold_left (fun h t -> task_hash ids h t) 0x811c9dc5 st.tasks in
+  (* In-flight collective rendezvous, in rank order. *)
+  let h =
+    List.fold_left
+      (fun h (rc : Mpisim.Engine.rank_call) ->
+        mix
+          (mix (mix h rc.Mpisim.Engine.rank)
+             (pos_of_id rc.Mpisim.Engine.cookie))
+          (Hashtbl.hash
+             ( Mpisim.Coll.signature rc.Mpisim.Engine.call,
+               rc.Mpisim.Engine.call.Mpisim.Coll.payload )))
+      h
+      (Mpisim.Engine.pending st.engine)
+  in
+  let h = ref h in
+  for rank = 0 to st.config.nranks - 1 do
+    (* Point-to-point inboxes: deposit order is semantic (FIFO match). *)
+    List.iter
+      (fun (m : Mpisim.Mailbox.message) ->
+        h :=
+          mix !h
+            (Hashtbl.hash
+               (m.Mpisim.Mailbox.src, m.Mpisim.Mailbox.tag, m.Mpisim.Mailbox.value)))
+      (Mpisim.Mailbox.inbox st.mailbox rank);
+    (* Critical locks: holder and FIFO wait queue, sorted by name. *)
+    List.iter
+      (fun (name, holder, waiters) ->
+        h :=
+          mix !h
+            (Hashtbl.hash
+               ( name,
+                 Option.map pos_of_id holder,
+                 List.map pos_of_id waiters )))
+      (Ompsim.Critical.state st.criticals.(rank))
+  done;
+  (* Live concurrency counters: order-insensitive, zero entries elided
+     (a region exited to zero must equal one never entered). *)
+  let counters =
+    Hashtbl.fold
+      (fun key n acc -> if n = 0 then acc else acc + (Hashtbl.hash (key, n) lor 1))
+      st.counters 0
+  in
+  mix !h counters
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
@@ -679,9 +894,14 @@ let pp_outcome ppf = function
 
 let outcome_to_string o = Fmt.str "%a" pp_outcome o
 
-(** Execute [program] (already validated).  @raise Invalid_argument if the
-    entry function is missing or takes parameters. *)
-let run ?(config = default_config) (program : Ast.program) =
+(** Execute [program] (already validated).  [probe], when given, turns on
+    the exploration instrumentation: state fingerprints for the first
+    [probe_depth] steps land in the probe's preallocated buffer, the
+    degree record is capped at the same depth, and construct uids come
+    from the probe's canonical table.
+    @raise Invalid_argument if the entry function is missing or takes
+    parameters. *)
+let run ?(config = default_config) ?probe (program : Ast.program) =
   let entry =
     match Ast.find_func program config.entry with
     | Some f -> f
@@ -691,6 +911,9 @@ let run ?(config = default_config) (program : Ast.program) =
   in
   if entry.Ast.params <> [] then
     invalid_arg "Sim.run: the entry function must take no parameters";
+  (* Probe runs only ever branch within the fingerprinted window, so the
+     degree buffer shrinks to match; plain runs keep the historical cap. *)
+  let degree_cap = match probe with Some p -> p.fp_depth + 1 | None -> 64 in
   let st =
     {
       config;
@@ -699,8 +922,9 @@ let run ?(config = default_config) (program : Ast.program) =
       mailbox = Mpisim.Mailbox.create ~nranks:config.nranks;
       criticals = Array.init config.nranks (fun _ -> Ompsim.Critical.create ());
       counters = Hashtbl.create 16;
+      ids = Option.map (fun (p : probe) -> p.ids) probe;
       uids = Stmt_tbl.create 64;
-      next_uid = 0;
+      next_uid = -1;
       tasks = [];
       task_tbl = Hashtbl.create 64;
       next_task_id = 0;
@@ -712,7 +936,8 @@ let run ?(config = default_config) (program : Ast.program) =
           cc_calls = 0;
           tasks_spawned = 0;
           trace = [];
-          degrees = [];
+          degrees = Array.make degree_cap 0;
+          ndegrees = 0;
         };
     }
   in
@@ -736,7 +961,10 @@ let run ?(config = default_config) (program : Ast.program) =
     | [] -> None
     | _ -> (
         let n = List.length runnable in
-        if st.stats.steps < 64 then st.stats.degrees <- n :: st.stats.degrees;
+        if st.stats.ndegrees < degree_cap then begin
+          st.stats.degrees.(st.stats.ndegrees) <- n;
+          st.stats.ndegrees <- st.stats.ndegrees + 1
+        end;
         match (rng, !script) with
         | Some rng, _ -> Some (List.nth runnable (Random.State.int rng n))
         | None, choice :: rest ->
@@ -748,11 +976,24 @@ let run ?(config = default_config) (program : Ast.program) =
             incr cursor;
             Some t)
   in
+  let record_fp =
+    match probe with
+    | None -> fun () -> ()
+    | Some p ->
+        p.fp_recorded <- 0;
+        fun () ->
+          if st.stats.steps <= p.fp_depth && p.fp_recorded = st.stats.steps
+          then begin
+            p.fingerprints.(st.stats.steps) <- state_hash st p.ids;
+            p.fp_recorded <- st.stats.steps + 1
+          end
+  in
   let outcome =
     try
       let rec loop () =
         if st.stats.steps >= config.max_steps then Step_limit
-        else
+        else begin
+          record_fp ();
           match pick () with
           | Some task ->
               st.stats.steps <- st.stats.steps + 1;
@@ -769,6 +1010,7 @@ let run ?(config = default_config) (program : Ast.program) =
                        | Task.Blocked _ -> Some (Task.describe t)
                        | Task.Runnable | Task.Finished -> None)
                      st.tasks)
+        end
       in
       loop ()
     with Abort_exn o -> o

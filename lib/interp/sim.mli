@@ -35,9 +35,11 @@ type stats = {
   mutable cc_calls : int;
   mutable tasks_spawned : int;
   mutable trace : (int * int * int) list;  (** (rank, tid, value), reversed. *)
-  mutable degrees : int list;
-      (** Runnable-task counts at the first scheduling steps (reversed,
-          capped at 64): the branching structure {!Explore} enumerates. *)
+  degrees : int array;
+      (** Runnable-task counts at the first scheduling steps, in step
+          order: the branching structure {!Explore} enumerates.  Only the
+          first [ndegrees] entries are meaningful. *)
+  mutable ndegrees : int;
 }
 
 type result = { outcome : outcome; stats : stats; engine : Mpisim.Engine.t }
@@ -64,10 +66,38 @@ val pp_outcome : outcome Fmt.t
 
 val outcome_to_string : outcome -> string
 
-(** Execute a validated program.
+(** Canonical construct-id table: statement ids assigned in AST order,
+    so they are identical across schedules of the same program (unlike
+    the default encounter-order ids). *)
+type stmt_ids
+
+val stmt_ids : Minilang.Ast.program -> stmt_ids
+
+(** Exploration instrumentation handed to {!run}: a preallocated
+    per-step state-fingerprint buffer plus a canonical id table.
+    Reusable across runs (each run resets it), so one probe per worker
+    amortises the allocation over thousands of replays. *)
+type probe
+
+(** @raise Invalid_argument if [depth < 0]. *)
+val make_probe : depth:int -> ids:stmt_ids -> probe
+
+val probe_depth : probe -> int
+
+(** Number of fingerprints the last run recorded (a run that aborts
+    mid-step leaves later slots stale). *)
+val probe_recorded : probe -> int
+
+(** Fingerprint of the state just before scheduling step [k] of the last
+    run.  @raise Invalid_argument unless [0 <= k < probe_recorded]. *)
+val probe_fingerprint : probe -> int -> int
+
+(** Execute a validated program.  [probe], when given, records state
+    fingerprints for the first [probe_depth] steps and switches
+    construct ids to the probe's canonical table.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-val run : ?config:config -> Minilang.Ast.program -> result
+val run : ?config:config -> ?probe:probe -> Minilang.Ast.program -> result
 
 (** Trace of [print] events in execution order: (rank, tid, value). *)
 val trace : result -> (int * int * int) list

@@ -84,6 +84,27 @@ let team_size t = match t.team with None -> 1 | Some tm -> tm.Ompsim.Team.size
 
 let is_runnable t = t.status = Runnable
 
+(* ------------------------------------------------------------------ *)
+(* Fingerprint ingredients                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Hash of the scheduling status.  Block reasons carry only short
+    strings and ints, so the polymorphic hash covers them fully; the site
+    string pins the blocked program point. *)
+let status_hash = function
+  | Runnable -> 0x2545f491
+  | Finished -> 0x1b873593
+  | Blocked r -> 0x7feb352d lxor Hashtbl.hash r
+
+(** Order-insensitive hash of the per-construct instance counters: the
+    table's iteration order depends on insertion history (which varies
+    between schedules reaching the same state), so entries combine by
+    commutative sum. *)
+let encounters_hash t =
+  Hashtbl.fold
+    (fun uid n acc -> acc + (Hashtbl.hash (uid, n) lor 1))
+    t.encounters 0
+
 let describe_block_reason = function
   | At_collective { site; coll } -> Printf.sprintf "in %s at %s" coll site
   | At_barrier { site } -> Printf.sprintf "at barrier (%s)" site

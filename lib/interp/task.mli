@@ -54,6 +54,15 @@ val team_size : t -> int
 
 val is_runnable : t -> bool
 
+(** Hash of the scheduling status (fingerprint ingredient). *)
+val status_hash : status -> int
+
+(** Order-insensitive hash of the per-construct instance counters
+    (fingerprint ingredient): commutative over entries, so schedules that
+    filled the table in different orders but reached the same counts hash
+    alike. *)
+val encounters_hash : t -> int
+
 val describe_block_reason : block_reason -> string
 
 val describe : t -> string

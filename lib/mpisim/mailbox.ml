@@ -71,6 +71,13 @@ let recv t ~dst ~src ~tag =
 (** Undelivered messages sitting in [rank]'s inbox. *)
 let pending t rank = Queue.length t.queues.(rank)
 
+(** Undelivered messages of [rank]'s inbox in queue (arrival) order.
+    Deposit order is part of the semantic state — receives match FIFO per
+    channel — so state fingerprints fold over this list. *)
+let inbox t rank =
+  check_rank t "inbox" rank;
+  List.of_seq (Queue.to_seq t.queues.(rank))
+
 let sent_count t = t.sent
 
 let received_count t = t.received

@@ -26,6 +26,11 @@ val recv : t -> dst:int -> src:int -> tag:int -> message option
 (** Undelivered messages in [rank]'s inbox. *)
 val pending : t -> int -> int
 
+(** Undelivered messages of [rank]'s inbox in arrival (FIFO) order, for
+    state fingerprints and diagnostics.
+    @raise Invalid_argument on an out-of-range rank. *)
+val inbox : t -> int -> message list
+
 val sent_count : t -> int
 
 val received_count : t -> int

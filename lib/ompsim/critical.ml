@@ -52,6 +52,18 @@ let release t ~name ~cookie =
     Some next
   end
 
+(** Deterministic snapshot of the lock table — (name, holder, FIFO wait
+    queue) sorted by name, empty locks elided.  The wait-queue order is
+    semantic state (it decides who acquires next), so state fingerprints
+    fold over this snapshot. *)
+let state t =
+  Hashtbl.fold
+    (fun name l acc ->
+      if l.holder = None && Queue.is_empty l.waiters then acc
+      else (name, l.holder, List.of_seq (Queue.to_seq l.waiters)) :: acc)
+    t []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
 (** Cookies blocked on any lock, for deadlock diagnostics. *)
 let blocked t =
   Hashtbl.fold

@@ -18,3 +18,7 @@ val release : t -> name:string -> cookie:int -> int option
 
 (** Cookies blocked on any lock, for deadlock diagnostics. *)
 val blocked : t -> int list
+
+(** Deterministic snapshot of the non-idle locks, sorted by name:
+    (name, holder, waiters in FIFO order).  Used by state fingerprints. *)
+val state : t -> (string * int option * int list) list

@@ -245,6 +245,67 @@ let per_rank result rank =
     (fun (r, t, v) -> if r = rank then Some (t, v) else None)
     (Interp.Sim.trace result)
 
+(* Racy programs for the exploration-equivalence property: unlike
+   [gen_program] these are deliberately schedule-dependent — nowait
+   singles and master regions racing into collectives, rank-divergent
+   collectives that deadlock — so the explorer sees several outcome
+   classes, pruning opportunities and aborted/stuck prefixes. *)
+let gen_racy_item : Ast.stmt Gen.t =
+  let open Gen in
+  let mk = Ast.mk ~loc:Loc.none in
+  oneof
+    [
+      map (fun e -> mk (Ast.Compute e)) gen_expr;
+      map
+        (fun coll -> mk (Ast.Omp_single { nowait = true; body = [ coll ] }))
+        gen_collective;
+      map
+        (fun coll -> mk (Ast.Omp_single { nowait = false; body = [ coll ] }))
+        gen_collective;
+      map (fun coll -> mk (Ast.Omp_master [ coll ])) gen_collective;
+      return (mk Ast.Omp_barrier);
+      map
+        (fun (v, c) ->
+          mk
+            (Ast.Omp_critical
+               ( None,
+                 [ mk (Ast.Assign (v, Ast.Binop (Ast.Add, Ast.Var v, Ast.Int c))) ] )))
+        (pair (oneofl shared_vars) (int_range 1 5));
+    ]
+
+let gen_racy_program : Ast.program Gen.t =
+  let open Gen in
+  let mk = Ast.mk ~loc:Loc.none in
+  map2
+    (fun items tail ->
+      let decls =
+        List.map
+          (fun v -> mk (Ast.Decl (v, Ast.Int 0)))
+          shared_vars
+      in
+      let par =
+        mk (Ast.Omp_parallel { num_threads = Some (Ast.Int 2); body = items })
+      in
+      let body = decls @ [ par ] @ tail in
+      Builder.number_lines
+        {
+          Ast.funcs =
+            [ { Ast.fname = "main"; params = []; body; floc = Loc.none } ];
+        })
+    (list_size (int_range 1 3) gen_racy_item)
+    (oneof
+       [
+         return [];
+         map (fun coll -> [ coll ]) gen_collective;
+         (* Rank-divergent collective: deadlocks under every schedule. *)
+         return
+           [ mk (Ast.If (Ast.Binop (Ast.Eq, Ast.Rank, Ast.Int 0),
+                         [ mk (Ast.Coll (None, Ast.Barrier)) ], [])) ];
+       ])
+
+let arb_racy_program =
+  QCheck.make ~print:Pretty.program_to_string gen_racy_program
+
 (* Random byte soup must only ever raise the documented exceptions. *)
 let gen_garbage =
   QCheck.make
@@ -328,6 +389,46 @@ let properties =
                Divergence in P2P-free programs must never deadlock. *)
             has_p2p
         | Interp.Sim.Step_limit -> false);
+    (* The tentpole contract of the pruned parallel explorer: on racy
+       programs it reports exactly the class set and per-class counts of
+       the unpruned sequential reference, and is deterministic in the
+       number of domains. *)
+    Test.make ~name:"pruned exploration = reference (classes, counts, jobs)"
+      ~count:25 arb_racy_program (fun p ->
+        let config =
+          {
+            Interp.Sim.nranks = 2;
+            default_nthreads = 2;
+            schedule = `Round_robin;
+            max_steps = 50_000;
+            entry = "main";
+            record_trace = false;
+            thread_level = Mpisim.Thread_level.Multiple;
+          }
+        in
+        let branch_depth = 4 and budget = 50_000 in
+        let reference =
+          Interp.Explore.outcomes_reference ~branch_depth ~budget ~config p
+        in
+        let pruned jobs =
+          Interp.Explore.outcomes ~branch_depth ~budget ~jobs ~config p
+        in
+        let p1 = pruned 1 in
+        let counts (s : Interp.Explore.summary) =
+          ( s.Interp.Explore.finished,
+            s.Interp.Explore.aborted,
+            s.Interp.Explore.faulted,
+            s.Interp.Explore.deadlocked,
+            s.Interp.Explore.step_limited )
+        in
+        let classes (s : Interp.Explore.summary) =
+          List.sort compare (List.map fst s.Interp.Explore.witnesses)
+        in
+        counts reference = counts p1
+        && classes reference = classes p1
+        && String.equal
+             (Interp.Explore.summary_to_string p1)
+             (Interp.Explore.summary_to_string (pruned 4)));
   ]
 
 let suite =
