@@ -827,6 +827,180 @@ let explore_perf_section () =
   Fmt.pr "@.wrote BENCH_explore.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Interpreter throughput: compiled core vs reference tree-walker      *)
+(* ------------------------------------------------------------------ *)
+
+(* Steps/second of the compiled interpreter ([Sim.make] once +
+   [Sim.run_compiled]) against the reference AST walker
+   ([Sim.run_reference]) on every reproducer, plus the end-to-end effect
+   on exploration throughput at jobs:1.  The equality gate runs first:
+   both cores must produce identical outcomes, print traces and step
+   counts on every (program, schedule) pair, otherwise the timings are
+   meaningless. *)
+let interp_perf_section () =
+  Fmt.pr "@.== Interpreter throughput: compiled core vs reference ==@.@.";
+  let smoke = Sys.getenv_opt "BENCH_INTERP_SMOKE" <> None in
+  let rounds = if smoke then 3 else 9 in
+  let iters = if smoke then 30 else 300 in
+  let nranks = 3 in
+  let config schedule record_trace =
+    {
+      Interp.Sim.nranks;
+      default_nthreads = 2;
+      schedule;
+      max_steps = 200_000;
+      entry = "main";
+      record_trace;
+      thread_level = Mpisim.Thread_level.Multiple;
+    }
+  in
+  let gate_schedules = [ `Round_robin; `Random 42; `Random 7; `Random 1337 ] in
+  let observe (r : Interp.Sim.result) =
+    ( r.Interp.Sim.outcome,
+      Interp.Sim.trace r,
+      r.Interp.Sim.stats.Interp.Sim.steps )
+  in
+  (* Equality gate over the whole catalogue. *)
+  List.iter
+    (fun (e : Benchsuite.Reproducers.entry) ->
+      let program = Benchsuite.Reproducers.program e in
+      List.iter
+        (fun schedule ->
+          let cfg = config schedule true in
+          let reference = Interp.Sim.run_reference ~config:cfg program in
+          let compiled = Interp.Sim.run ~config:cfg program in
+          if observe reference <> observe compiled then
+            Fmt.failwith
+              "interp: %s: compiled core diverges from the reference \
+               (outcome, trace or steps)"
+              e.Benchsuite.Reproducers.name)
+        gate_schedules)
+    Benchsuite.Reproducers.all;
+  Fmt.pr
+    "equality gate: outcomes, traces and step counts identical on every \
+     reproducer × schedule@.@.";
+  let timed f =
+    let samples =
+      Array.init rounds (fun _ ->
+          Gc.minor ();
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Unix.gettimeofday () -. t0)
+    in
+    median samples
+  in
+  let cfg = config `Round_robin false in
+  Fmt.pr "%-22s | %8s | %14s | %14s | %8s@." "workload" "steps"
+    "ref steps/s" "compiled st/s" "speedup";
+  Fmt.pr "%s@." (String.make 78 '-');
+  let per_entry =
+    List.map
+      (fun (e : Benchsuite.Reproducers.entry) ->
+        let program = Benchsuite.Reproducers.program e in
+        let compiled_form = Interp.Sim.make program in
+        let steps =
+          (Interp.Sim.run_compiled ~config:cfg compiled_form)
+            .Interp.Sim.stats.Interp.Sim.steps
+        in
+        let t_ref =
+          timed (fun () ->
+              for _ = 1 to iters do
+                ignore (Interp.Sim.run_reference ~config:cfg program)
+              done)
+        in
+        let t_cmp =
+          timed (fun () ->
+              for _ = 1 to iters do
+                ignore (Interp.Sim.run_compiled ~config:cfg compiled_form)
+              done)
+        in
+        let total = float_of_int (steps * iters) in
+        let ref_sps = total /. t_ref in
+        let cmp_sps = total /. t_cmp in
+        Fmt.pr "%-22s | %8d | %14.0f | %14.0f | %7.2fx@."
+          e.Benchsuite.Reproducers.name steps ref_sps cmp_sps
+          (cmp_sps /. ref_sps);
+        (e.Benchsuite.Reproducers.name, steps, t_ref, t_cmp, ref_sps, cmp_sps))
+      Benchsuite.Reproducers.all
+  in
+  let total_steps =
+    List.fold_left (fun acc (_, s, _, _, _, _) -> acc + (s * iters)) 0 per_entry
+  in
+  let sum_t f = List.fold_left (fun acc e -> acc +. f e) 0. per_entry in
+  let agg_ref = float_of_int total_steps /. sum_t (fun (_, _, t, _, _, _) -> t) in
+  let agg_cmp = float_of_int total_steps /. sum_t (fun (_, _, _, t, _, _) -> t) in
+  let agg_speedup = agg_cmp /. agg_ref in
+  Fmt.pr "%s@." (String.make 78 '-');
+  Fmt.pr "%-22s | %8d | %14.0f | %14.0f | %7.2fx@.@." "aggregate"
+    (total_steps / iters) agg_ref agg_cmp agg_speedup;
+  (* End-to-end: the explorer at jobs:1 with each core.  Identical
+     summaries are part of the gate. *)
+  let workload = "deadlock-barrier" in
+  let program = Benchsuite.Reproducers.load workload in
+  let branch_depth = 10 in
+  let budget = 100_000 in
+  let explore interp () =
+    Interp.Explore.outcomes ~branch_depth ~budget ~jobs:1 ~interp ~config:cfg
+      program
+  in
+  let s_ref = explore `Reference () in
+  let s_cmp = explore `Compiled () in
+  if
+    not
+      (String.equal
+         (Interp.Explore.summary_to_string s_ref)
+         (Interp.Explore.summary_to_string s_cmp))
+  then
+    Fmt.failwith
+      "interp: exploration summaries differ between the two cores";
+  let t_exp_ref = timed (fun () -> ignore (explore `Reference ())) in
+  let t_exp_cmp = timed (fun () -> ignore (explore `Compiled ())) in
+  let runs = float_of_int s_cmp.Interp.Explore.runs in
+  let exp_ref_rps = runs /. t_exp_ref in
+  let exp_cmp_rps = runs /. t_exp_cmp in
+  Fmt.pr
+    "explore %s (depth %d, jobs:1): %.0f runs/s on the reference core, %.0f \
+     on the compiled core (%.2fx), identical summaries@."
+    workload branch_depth exp_ref_rps exp_cmp_rps (exp_cmp_rps /. exp_ref_rps);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"section\": \"interp\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"nranks\": %d,\n\
+      \  \"iters\": %d,\n\
+      \  \"equality_gate\": true,\n\
+      \  \"workloads\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"aggregate\": { \"ref_steps_per_sec\": %.0f, \
+       \"compiled_steps_per_sec\": %.0f, \"speedup\": %.3f },\n\
+      \  \"explore\": { \"workload\": %S, \"branch_depth\": %d, \"budget\": \
+       %d, \"jobs\": 1, \"identical_summaries\": true, \
+       \"ref_runs_per_sec\": %.0f, \"compiled_runs_per_sec\": %.0f, \
+       \"speedup\": %.3f }\n\
+       }\n"
+      smoke nranks iters
+      (String.concat ",\n"
+         (List.map
+            (fun (name, steps, t_ref, t_cmp, ref_sps, cmp_sps) ->
+              Printf.sprintf
+                "    { \"workload\": %S, \"steps_per_run\": %d, \
+                 \"ref_seconds\": %.6f, \"compiled_seconds\": %.6f, \
+                 \"ref_steps_per_sec\": %.0f, \"compiled_steps_per_sec\": \
+                 %.0f, \"speedup\": %.3f }"
+                name steps t_ref t_cmp ref_sps cmp_sps (cmp_sps /. ref_sps))
+            per_entry))
+      agg_ref agg_cmp agg_speedup workload branch_depth budget exp_ref_rps
+      exp_cmp_rps
+      (exp_cmp_rps /. exp_ref_rps)
+  in
+  let oc = open_out "BENCH_interp.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_interp.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Domain-parallel driver scaling                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -955,6 +1129,7 @@ let sections =
     ("interproc", interproc_section);
     ("explore", explore_section);
     ("explore-perf", explore_perf_section);
+    ("interp-perf", interp_perf_section);
     ("scaling", scaling_section);
   ]
 

@@ -28,7 +28,7 @@ let read_program file bench =
 
 let run file bench ranks threads seed round_robin max_steps instrument jobs
     inject show_trace must_check level explore branch_depth budget explore_jobs
-    =
+    interp =
   let program = read_program file bench in
   let issues = Minilang.Validate.check_program program in
   List.iter (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i)) issues;
@@ -72,8 +72,8 @@ let run file bench ranks threads seed round_robin max_steps instrument jobs
       exit 2
     end;
     let summary =
-      Interp.Explore.outcomes ~branch_depth ~budget ~jobs:explore_jobs ~config
-        program
+      Interp.Explore.outcomes ~branch_depth ~budget ~jobs:explore_jobs ~interp
+        ~config program
     in
     Fmt.pr "%a@." Interp.Explore.pp_summary summary;
     if
@@ -84,7 +84,11 @@ let run file bench ranks threads seed round_robin max_steps instrument jobs
     else if summary.Interp.Explore.aborted > 0 then exit 4
     else exit 0
   end;
-  let result = Interp.Sim.run ~config program in
+  let result =
+    match interp with
+    | `Compiled -> Interp.Sim.run ~config program
+    | `Reference -> Interp.Sim.run_reference ~config program
+  in
   Fmt.pr "outcome: %a@." Interp.Sim.pp_outcome result.Interp.Sim.outcome;
   let stats = result.Interp.Sim.stats in
   Fmt.pr
@@ -249,6 +253,28 @@ let explore_jobs =
            $(docv) OCaml domains; the summary is identical whatever \
            $(docv) is.")
 
+let interp =
+  let cv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "compiled" -> Ok `Compiled
+          | "reference" -> Ok `Reference
+          | _ -> Error (`Msg "expected 'compiled' or 'reference'")),
+        fun ppf i ->
+          Fmt.string ppf
+            (match i with `Compiled -> "compiled" | `Reference -> "reference")
+      )
+  in
+  Arg.(
+    value
+    & opt cv `Compiled
+    & info [ "interp" ] ~docv:"CORE"
+        ~doc:
+          "Interpreter core: 'compiled' (default; slot-resolved, \
+           pre-lowered) or 'reference' (the original AST walker). Both \
+           produce identical traces and outcomes.")
+
 let cmd =
   let doc = "run hybrid MPI+OpenMP programs on the simulated runtime" in
   Cmd.v
@@ -256,6 +282,6 @@ let cmd =
     Term.(
       const run $ file $ bench $ ranks $ threads $ seed $ round_robin
       $ max_steps $ instrument $ jobs $ inject $ show_trace $ must_check
-      $ level $ explore $ branch_depth $ budget $ explore_jobs)
+      $ level $ explore $ branch_depth $ budget $ explore_jobs $ interp)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,139 @@
+(** One-shot lowering of a validated [Ast.program] into the resolved form
+    executed by {!Sim.run_compiled}: variables become integer slots in
+    per-frame [int array]s (scope analysis at compile time, OpenMP
+    shared-by-default preserved by chaining team-member frames to the
+    forker's frame), statements carry precomputed site strings, canonical
+    uids, resolved callees and pre-translated collective/reduction
+    descriptors, and expressions are closure-compiled.  Alongside each
+    program point the lowering stores the hash ingredients (suffix hashes,
+    sorted scope descriptors, pre-hashed names/conditions/operators) that
+    make compiled state fingerprints bit-identical to the reference
+    interpreter's — see docs/PERFORMANCE.md, "The compiled interpreter
+    core". *)
+
+(** One level of mutable variable storage; [up] is the lexically enclosing
+    frame (root frames point at a dummy). *)
+type frame = { slots : int array; up : frame }
+
+val root_frame : int -> frame
+
+val child_frame : parent:frame -> int -> frame
+
+(** [up fr n] walks [n] levels up the frame chain. *)
+val up : frame -> int -> frame
+
+(** A resolved storage location (the compiled core's [Env.cell]). *)
+type loc = { l_frame : frame; l_slot : int }
+
+val read_loc : loc -> int
+
+val write_loc : loc -> int -> unit
+
+(** Per-task constants threaded into compiled expressions. *)
+type ectx = { e_rank : int; e_tid : int; e_nthreads : int; e_nranks : int }
+
+(** Raised by compiled code on evaluation errors; converted to
+    [Fault (Eval_error _)] by the driver. *)
+exception Error of { rank : int; site : string; message : string }
+
+type exprc = ectx -> frame -> int
+
+type vref = { v_hops : int; v_slot : int }
+
+(** A variable reference that may be statically unbound; the error fires
+    at execution time, like the reference interpreter's. *)
+type cell_ref = CRef of vref | CUnbound of string
+
+(** One visible binding, pre-hashed; scope arrays are sorted by variable
+    name to replay [Env.StringMap.fold]'s order. *)
+type scope_entry = { se_nhash : int; se_hops : int; se_slot : int }
+
+type scope = scope_entry array
+
+type cstmt = { uid : int; site : string; desc : cdesc }
+
+and cblock = {
+  stmts : cstmt array;
+  bhash : int array;  (** [n+1] suffix hashes ([bhash.(n)] = empty). *)
+  scopes : scope array;  (** [n+1] scopes (before statement [i]). *)
+}
+
+and cdesc =
+  | CDecl of int * exprc
+  | CAssign of vref * exprc
+  | CAssign_unbound of string * exprc
+  | CIf of exprc * cblock * cblock
+  | CWhile of { cond : exprc; chash : int; scope : scope; body : cblock }
+  | CFor of {
+      slot : int;
+      vhash : int;
+      lo : exprc;
+      hi : exprc;
+      scope : scope;
+      body : cblock;
+    }
+  | CReturn
+  | CCall of { target : cfunc; args : exprc array }
+  | CCall_error of string
+  | CCompute of exprc
+  | CPrint of exprc
+  | CColl of { target : cell_ref option; coll : ccoll }
+  | CCheck of ccheck
+  | CSend of { value : exprc; dest : exprc; tag : exprc }
+  | CRecv of { target : cell_ref; src : exprc; tag : exprc }
+  | CPar of { num_threads : exprc option; nslots : int; body : cblock }
+  | CSingle of { nowait : bool; body : cblock }
+  | CMaster of cblock
+  | CCritical of { name : string; nhash : int; body : cblock }
+  | CBarrier
+  | CWsfor of {
+      slot : int;
+      vhash : int;
+      lo : exprc;
+      hi : exprc;
+      nowait : bool;
+      reduction : creduction option;
+      kscope : scope;
+      body : cblock;
+    }
+  | CSections of { nowait : bool; sections : cblock array }
+
+and creduction = {
+  r_op : Minilang.Ast.reduce_op;
+  r_ophash : int;
+  r_shared : cell_ref;
+  r_priv_slot : int;
+}
+
+and ccoll = {
+  k_kind : Mpisim.Coll.kind;
+  k_op : Mpisim.Op.t option;
+  k_root : exprc option;
+  k_payload : exprc;
+}
+
+and ccheck =
+  | KCc_next of { color : int; csite : string }
+  | KCc_return of { csite : string }
+  | KAssert_mono
+  | KCount_enter of int
+  | KCount_exit of int
+
+and cfunc = {
+  f_name : string;
+  f_nparams : int;
+  mutable f_nslots : int;
+  mutable f_body : cblock;
+}
+
+(** A lowered program.  Immutable once {!lower} returns, so one compiled
+    form is safely shared across exploration worker domains. *)
+type t = { funcs : cfunc array; by_name : (string, cfunc) Hashtbl.t }
+
+(** Callee/entry lookup; first match wins on duplicate names, mirroring
+    [Ast.find_func]. *)
+val find : t -> string -> cfunc option
+
+val op_of_ast : Minilang.Ast.reduce_op -> Mpisim.Op.t
+
+val lower : Minilang.Ast.program -> t

@@ -1,6 +1,11 @@
 (** Variable environments with OpenMP shared-by-default semantics: a
     variable is a mutable integer cell, shared with every task that
-    captured the binding; private copies are fresh cells. *)
+    captured the binding; private copies are fresh cells.
+
+    Used by the reference interpreter ([Sim.run_reference]) only: the
+    compiled core resolves every variable to a frame/slot pair at
+    lowering time ({!Compile.frame} / {!Compile.loc}) and never touches
+    string-keyed maps at execution time. *)
 
 module StringMap : Map.S with type key = string
 

@@ -94,7 +94,7 @@ let script_of node =
     branching degree at the first unscripted step. *)
 type replay_info = { r_cls : int; r_fp : int option; r_degree : int }
 
-let replay_node ~probe ~(config : Sim.config) program node =
+let replay_node ~probe ~(config : Sim.config) ~runner node =
   let config =
     (* Exploration never reads the print trace; recording it would
        allocate on every run. *)
@@ -104,7 +104,7 @@ let replay_node ~probe ~(config : Sim.config) program node =
       Sim.record_trace = false;
     }
   in
-  let result = Sim.run ~config ~probe program in
+  let result : Sim.result = runner ~config ~probe in
   let stats = result.Sim.stats in
   let r_fp =
     if Sim.probe_recorded probe > node.depth then
@@ -122,7 +122,7 @@ let replay_node ~probe ~(config : Sim.config) program node =
     exploration state, so the handout order (an atomic counter, as in
     [Driver.analyze]) does not affect the result.  The first failure in
     frontier order is re-raised with its backtrace. *)
-let replay_wave ~probes ~config program (frontier : node array) infos to_replay
+let replay_wave ~probes ~config ~runner (frontier : node array) infos to_replay
     =
   let jobs = Array.length probes in
   let errors = Array.make to_replay None in
@@ -131,7 +131,7 @@ let replay_wave ~probes ~config program (frontier : node array) infos to_replay
     let rec go () =
       let i = Atomic.fetch_and_add next 1 in
       if i < to_replay then begin
-        (try infos.(i) <- Some (replay_node ~probe ~config program frontier.(i))
+        (try infos.(i) <- Some (replay_node ~probe ~config ~runner frontier.(i))
          with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
         go ()
       end
@@ -157,17 +157,32 @@ let replay_wave ~probes ~config program (frontier : node array) infos to_replay
 (* The engine                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** [outcomes ?branch_depth ?budget ?jobs ~config program] explores the
-    prefix tree breadth-first, replaying at most [budget] schedules
-    (pruned subtrees are credited, not replayed, so [runs] may exceed
-    [budget]) and branching over the first [branch_depth] choices.
-    [config.schedule] is ignored (every run is scripted). *)
+(** [outcomes ?branch_depth ?budget ?jobs ?interp ~config program]
+    explores the prefix tree breadth-first, replaying at most [budget]
+    schedules (pruned subtrees are credited, not replayed, so [runs] may
+    exceed [budget]) and branching over the first [branch_depth] choices.
+    [config.schedule] is ignored (every run is scripted).  [interp]
+    selects the interpreter core: [`Compiled] (default) lowers the
+    program once with [Sim.make] and every replay — on every worker
+    domain — executes the shared compiled form; [`Reference] replays
+    with the AST tree-walker (the equivalence oracle and bench
+    baseline). *)
 let outcomes ?(branch_depth = 8) ?(budget = 2000) ?(jobs = 1)
-    ~(config : Sim.config) program =
+    ?(interp = `Compiled) ~(config : Sim.config) program =
   if branch_depth < 0 then
     invalid_arg "Explore.outcomes: branch_depth must be >= 0";
   if budget < 0 then invalid_arg "Explore.outcomes: budget must be >= 0";
   if jobs < 1 then invalid_arg "Explore.outcomes: jobs must be >= 1";
+  let runner =
+    match interp with
+    | `Compiled ->
+        (* Compile once, before the worker domains exist: the compiled
+           form is immutable and Domain.spawn gives the happens-before
+           edge, so sharing it is race-free. *)
+        let cp = Sim.make program in
+        fun ~config ~probe -> Sim.run_compiled ~config ~probe cp
+    | `Reference -> fun ~config ~probe -> Sim.run_reference ~config ~probe program
+  in
   let ids = Sim.stmt_ids program in
   (* One reusable probe per worker: the fingerprint buffer is allocated
      once and amortised over every replay the worker performs. *)
@@ -199,7 +214,7 @@ let outcomes ?(branch_depth = 8) ?(budget = 2000) ?(jobs = 1)
     budget_left := !budget_left - to_replay;
     let infos = Array.make (Array.length fr) None in
     if to_replay > 0 then
-      replay_wave ~probes ~config program fr infos to_replay;
+      replay_wave ~probes ~config ~runner fr infos to_replay;
     (* Coordinator: everything below is sequential and in frontier
        order, so memo decisions, witnesses and child order are
        independent of how workers interleaved. *)
@@ -290,7 +305,9 @@ let outcomes ?(branch_depth = 8) ?(budget = 2000) ?(jobs = 1)
 
 (** The original depth-first, unpruned, sequential enumeration, kept as
     the baseline the bench compares against and as the oracle for the
-    equivalence properties in the tests.  One replay per represented
+    equivalence properties in the tests.  Runs the reference interpreter
+    ([Sim.run_reference]), so comparing it against [outcomes] also
+    cross-checks the two interpreter cores.  One replay per represented
     run: [replays = runs], [pruned = 0]. *)
 let outcomes_reference ?(branch_depth = 8) ?(budget = 2000)
     ~(config : Sim.config) program =
@@ -330,7 +347,7 @@ let outcomes_reference ?(branch_depth = 8) ?(budget = 2000)
     if !budget_left > 0 then begin
       decr budget_left;
       let cfg = { config with Sim.schedule = `Scripted prefix } in
-      let result = Sim.run ~config:cfg program in
+      let result = Sim.run_reference ~config:cfg program in
       record prefix result.Sim.outcome;
       let depth = List.length prefix in
       if depth < branch_depth && depth < result.Sim.stats.Sim.ndegrees then begin

@@ -7,6 +7,19 @@
     [single] regions overlapping, threads racing into collectives) can be
     exhibited deterministically in tests.
 
+    Two interpreter cores share the scheduling, MPI and OpenMP plumbing:
+
+    - the {b compiled core} ([make] / [run_compiled]; [run] is
+      [make]+[run_compiled]) executes the slot-resolved form produced by
+      {!Compile} — no AST dispatch, no string-keyed environment lookups,
+      no per-step site-string allocation, and an index-scan scheduler over
+      a preallocated task array;
+    - the {b reference core} ([run_reference]) is the original AST
+      tree-walker, kept verbatim as the equivalence oracle (the same
+      pattern as [Explore.outcomes_reference]).  Both produce identical
+      traces, outcomes, step counts and state fingerprints — property
+      tested in [test/test_compile.ml].
+
     Error taxonomy:
     - {!outcome.Aborted}: an instrumentation check ([CC] agreement or
       concurrency counter) stopped the program cleanly {e before} the
@@ -109,7 +122,9 @@ end)
     numbered in deterministic AST order.  Unlike encounter-order
     numbering — which depends on the schedule — these ids are stable
     across runs, so state fingerprints of different runs are
-    comparable. *)
+    comparable.  {!Compile.lower} assigns the same numbers (same
+    traversal, same dedup), so they are also stable across the two
+    interpreter cores. *)
 type stmt_ids = int Stmt_tbl.t
 
 let stmt_ids (program : Ast.program) : stmt_ids =
@@ -160,247 +175,35 @@ let probe_fingerprint p k =
     invalid_arg "Sim.probe_fingerprint: step not recorded";
   p.fingerprints.(k)
 
-type state = {
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing: the interpreter-independent half of the simulator    *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below is polymorphic in the continuation type ['k] and the
+   result-cell type ['c] of [('k, 'c) Task.t], so the reference
+   tree-walker and the compiled core share one implementation of the
+   delicate parts: collective rendezvous (including the
+   abort-vs-fault classification), OpenMP barriers and criticals,
+   point-to-point matching, the instrumentation checks and the
+   non-continuation half of state fingerprints. *)
+
+type ('k, 'c) core = {
   config : config;
-  program : Ast.program;
   engine : Mpisim.Engine.t;
   mailbox : Mpisim.Mailbox.t;
   criticals : Ompsim.Critical.t array;  (** Per-rank named locks. *)
   counters : (int * int, int) Hashtbl.t;  (** (rank, region) → live count. *)
-  ids : stmt_ids option;  (** Canonical ids (probe runs). *)
-  uids : int Stmt_tbl.t;  (** Dynamic fallback, numbered downwards. *)
-  mutable next_uid : int;
-  mutable tasks : Task.t list;  (** All tasks ever spawned, oldest first. *)
-  task_tbl : (int, Task.t) Hashtbl.t;
-  mutable next_task_id : int;
   stats : stats;
+  find : int -> ('k, 'c) Task.t;  (** Task by engine cookie. *)
+  set_cell : 'c -> int -> unit;  (** Deliver a result into a cell. *)
+  iter_tasks : (('k, 'c) Task.t -> unit) -> unit;  (** In spawn order. *)
 }
 
-(* Construct uids: canonical AST ids when a probe supplies them (so
-   [single] arbitration keys — and hence fingerprints — are stable across
-   schedules), dynamic encounter-order ids otherwise.  The dynamic
-   numbering counts downwards from -1 so the two ranges never collide. *)
-let dynamic_uid st stmt =
-  match Stmt_tbl.find_opt st.uids stmt with
-  | Some u -> u
-  | None ->
-      let u = st.next_uid in
-      st.next_uid <- u - 1;
-      Stmt_tbl.replace st.uids stmt u;
-      u
-
-let uid_of st stmt =
-  match st.ids with
-  | Some ids -> (
-      match Stmt_tbl.find_opt ids stmt with
-      | Some u -> u
-      | None -> dynamic_uid st stmt)
-  | None -> dynamic_uid st stmt
-
-let find_task st cookie = Hashtbl.find st.task_tbl cookie
-
-let spawn st ~rank ~tid ~team ~konts =
-  let id = st.next_task_id in
-  st.next_task_id <- id + 1;
-  let t = Task.make ~id ~rank ~tid ~team ~konts in
-  st.tasks <- st.tasks @ [ t ];
-  Hashtbl.replace st.task_tbl id t;
-  st.stats.tasks_spawned <- st.stats.tasks_spawned + 1;
-  t
-
-(* ------------------------------------------------------------------ *)
-(* State fingerprinting                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* The fingerprint is a hash of every semantically live component of the
-   simulator state: task list (in scheduling order), continuation stacks
-   with environment values, collective rendezvous slots, point-to-point
-   inboxes, critical locks and concurrency counters.  Equal states hash
-   equal by construction; the converse is heuristic (63-bit hash, plus
-   environment *values* stand in for cell sharing structure) — see
-   docs/PERFORMANCE.md for the soundness discussion. *)
-
-let mix h x = (((h lsl 5) + h) lxor x) land max_int
-
-(* A block suffix is identified by its head statement: statements are
-   physically unique AST nodes, so the canonical id of the head pins the
-   whole remaining suffix. *)
-let block_hash ids (b : Ast.block) =
-  match b with
-  | [] -> 0x27d4eb2f
-  | s :: _ -> (
-      match Stmt_tbl.find_opt ids s with
-      | Some u -> u + 0x100
-      | None -> Hashtbl.hash s.Ast.sloc)
-
-let env_hash (env : Env.t) =
-  Env.StringMap.fold
-    (fun name cell h -> mix (mix h (Hashtbl.hash name)) !cell)
-    env 0x51ed270b
-
-let team_opt_hash = function
-  | None -> 0x5bd1e995
-  | Some (tm : Ompsim.Team.t) ->
-      let singles =
-        (* Claim-table iteration order varies; combine commutatively. *)
-        Hashtbl.fold
-          (fun key () acc -> acc + (Hashtbl.hash key lor 1))
-          tm.Ompsim.Team.singles 0
-      in
-      (* The creation-order team id (and the forker cookie) depend on the
-         schedule that spawned the team; identify it by its logical
-         coordinates instead. *)
-      let coords =
-        mix
-          (mix (mix tm.Ompsim.Team.rank tm.Ompsim.Team.size)
-             tm.Ompsim.Team.depth)
-          tm.Ompsim.Team.finished
-      in
-      mix
-        (mix coords (Ompsim.Barrier.waiting_count tm.Ompsim.Team.barrier))
-        singles
-
-let kont_hash ids (k : Task.kont) =
-  match k with
-  | Task.Kseq (b, env) -> mix (mix 1 (block_hash ids b)) (env_hash env)
-  | Task.Kwhile (c, body, env) ->
-      mix (mix (mix 2 (Hashtbl.hash c)) (block_hash ids body)) (env_hash env)
-  | Task.Kfor { var; current; stop; body; env } ->
-      mix
-        (mix
-           (mix (mix (mix 3 (Hashtbl.hash var)) current) stop)
-           (block_hash ids body))
-        (env_hash env)
-  | Task.Kcall_return -> 4
-  | Task.Kenter_single -> 5
-  | Task.Kexit_single { team; nowait } ->
-      mix (mix 6 (team_opt_hash team)) (Bool.to_int nowait)
-  | Task.Kexit_ws { team; nowait } ->
-      mix (mix 7 (team_opt_hash team)) (Bool.to_int nowait)
-  | Task.Kcritical_end name -> mix 8 (Hashtbl.hash name)
-  | Task.Kreduce_combine { op; shared; private_ } ->
-      mix (mix (mix 9 (Hashtbl.hash op)) !shared) !private_
-
-let task_hash ids h (t : Task.t) =
-  (* No [t.id]: dynamic ids depend on spawn interleaving.  The logical
-     identity is (rank, tid) plus the position in the fold. *)
-  let h = mix h t.Task.rank in
-  let h = mix h t.Task.tid in
-  let h = mix h (Task.status_hash t.Task.status) in
-  let h = mix h t.Task.single_depth in
-  let h =
-    mix h (match t.Task.wait_cell with None -> 0x61c88647 | Some c -> mix 0x2d51 !c)
-  in
-  let h = mix h (Task.encounters_hash t) in
-  let h = mix h (team_opt_hash t.Task.team) in
-  List.fold_left (fun h k -> mix h (kont_hash ids k)) h t.Task.konts
-
-let state_hash st ids =
-  (* Dynamic task ids (engine cookies, lock owners) depend on the spawn
-     interleaving; canonicalise each to the task's position in
-     scheduling order before it enters the hash. *)
-  let pos_of_id =
-    let tbl = Hashtbl.create 16 in
-    List.iteri (fun i t -> Hashtbl.replace tbl t.Task.id i) st.tasks;
-    fun id -> match Hashtbl.find_opt tbl id with Some i -> i | None -> -1
-  in
-  (* Task order matters (round-robin indexing), so fold in sequence. *)
-  let h = List.fold_left (fun h t -> task_hash ids h t) 0x811c9dc5 st.tasks in
-  (* In-flight collective rendezvous, in rank order. *)
-  let h =
-    List.fold_left
-      (fun h (rc : Mpisim.Engine.rank_call) ->
-        mix
-          (mix (mix h rc.Mpisim.Engine.rank)
-             (pos_of_id rc.Mpisim.Engine.cookie))
-          (Hashtbl.hash
-             ( Mpisim.Coll.signature rc.Mpisim.Engine.call,
-               rc.Mpisim.Engine.call.Mpisim.Coll.payload )))
-      h
-      (Mpisim.Engine.pending st.engine)
-  in
-  let h = ref h in
-  for rank = 0 to st.config.nranks - 1 do
-    (* Point-to-point inboxes: deposit order is semantic (FIFO match). *)
-    List.iter
-      (fun (m : Mpisim.Mailbox.message) ->
-        h :=
-          mix !h
-            (Hashtbl.hash
-               (m.Mpisim.Mailbox.src, m.Mpisim.Mailbox.tag, m.Mpisim.Mailbox.value)))
-      (Mpisim.Mailbox.inbox st.mailbox rank);
-    (* Critical locks: holder and FIFO wait queue, sorted by name. *)
-    List.iter
-      (fun (name, holder, waiters) ->
-        h :=
-          mix !h
-            (Hashtbl.hash
-               ( name,
-                 Option.map pos_of_id holder,
-                 List.map pos_of_id waiters )))
-      (Ompsim.Critical.state st.criticals.(rank))
-  done;
-  (* Live concurrency counters: order-insensitive, zero entries elided
-     (a region exited to zero must equal one never entered). *)
-  let counters =
-    Hashtbl.fold
-      (fun key n acc -> if n = 0 then acc else acc + (Hashtbl.hash (key, n) lor 1))
-      st.counters 0
-  in
-  mix !h counters
-
-(* ------------------------------------------------------------------ *)
-(* Expression evaluation                                               *)
-(* ------------------------------------------------------------------ *)
-
-let eval_error st task site fmt =
-  ignore st;
+let fail_eval rank site fmt =
   Printf.ksprintf
     (fun message ->
-      raise (Abort_exn (Fault (Eval_error { rank = task.Task.rank; site; message }))))
+      raise (Abort_exn (Fault (Eval_error { rank; site; message }))))
     fmt
-
-let rec eval st task env site (e : Ast.expr) =
-  match e with
-  | Int n -> n
-  | Bool b -> if b then 1 else 0
-  | Var x -> (
-      try Env.lookup x env
-      with Env.Unbound x -> eval_error st task site "unbound variable '%s'" x)
-  | Rank -> task.Task.rank
-  | Size -> st.config.nranks
-  | Tid -> task.Task.tid
-  | Nthreads -> Task.team_size task
-  | Unop (Neg, e) -> -eval st task env site e
-  | Unop (Not, e) -> if eval st task env site e = 0 then 1 else 0
-  | Binop (op, a, b) -> (
-      let x = eval st task env site a in
-      match op with
-      | And -> if x = 0 then 0 else min 1 (abs (eval st task env site b))
-      | Or -> if x <> 0 then 1 else min 1 (abs (eval st task env site b))
-      | _ -> (
-          let y = eval st task env site b in
-          let bool_of c = if c then 1 else 0 in
-          match op with
-          | Add -> x + y
-          | Sub -> x - y
-          | Mul -> x * y
-          | Div ->
-              if y = 0 then eval_error st task site "division by zero"
-              else x / y
-          | Mod ->
-              if y = 0 then eval_error st task site "modulo by zero" else x mod y
-          | Eq -> bool_of (x = y)
-          | Ne -> bool_of (x <> y)
-          | Lt -> bool_of (x < y)
-          | Le -> bool_of (x <= y)
-          | Gt -> bool_of (x > y)
-          | Ge -> bool_of (x >= y)
-          | And | Or -> assert false))
-
-(* ------------------------------------------------------------------ *)
-(* Collective plumbing                                                 *)
-(* ------------------------------------------------------------------ *)
 
 (* Identity element of each reduction operator over ints. *)
 let reduction_identity = function
@@ -420,49 +223,15 @@ let apply_reduce_op op a b =
   | Ast.Rland -> if a <> 0 && b <> 0 then 1 else 0
   | Ast.Rlor -> if a <> 0 || b <> 0 then 1 else 0
 
-let op_of_ast = function
-  | Ast.Rsum -> Mpisim.Op.Sum
-  | Ast.Rprod -> Mpisim.Op.Prod
-  | Ast.Rmax -> Mpisim.Op.Max
-  | Ast.Rmin -> Mpisim.Op.Min
-  | Ast.Rland -> Mpisim.Op.Land
-  | Ast.Rlor -> Mpisim.Op.Lor
-
-let call_of_collective st task env site (c : Ast.collective) =
-  let ev e = eval st task env site e in
-  let root e =
-    let r = ev e in
-    if r < 0 || r >= st.config.nranks then
-      eval_error st task site "collective root %d out of range" r
-    else r
-  in
-  let make kind ?op ?root ~payload () =
-    Mpisim.Coll.make kind ?op ?root ~payload ~site ()
-  in
-  match c with
-  | Barrier -> make Mpisim.Coll.Barrier ~payload:0 ()
-  | Bcast { root = r; value } ->
-      make Mpisim.Coll.Bcast ~root:(root r) ~payload:(ev value) ()
-  | Reduce { op; root = r; value } ->
-      make Mpisim.Coll.Reduce ~op:(op_of_ast op) ~root:(root r)
-        ~payload:(ev value) ()
-  | Allreduce { op; value } ->
-      make Mpisim.Coll.Allreduce ~op:(op_of_ast op) ~payload:(ev value) ()
-  | Gather { root = r; value } ->
-      make Mpisim.Coll.Gather ~root:(root r) ~payload:(ev value) ()
-  | Scatter { root = r; value } ->
-      make Mpisim.Coll.Scatter ~root:(root r) ~payload:(ev value) ()
-  | Allgather { value } -> make Mpisim.Coll.Allgather ~payload:(ev value) ()
-  | Alltoall { value } -> make Mpisim.Coll.Alltoall ~payload:(ev value) ()
-  | Scan { op; value } ->
-      make Mpisim.Coll.Scan ~op:(op_of_ast op) ~payload:(ev value) ()
-  | Reduce_scatter { op; value } ->
-      make Mpisim.Coll.Reduce_scatter ~op:(op_of_ast op) ~payload:(ev value) ()
+let op_of_ast = Compile.op_of_ast
 
 (* Register an arrival and, if the collective is now full, complete it. *)
-let collective_arrive st (task : Task.t) call cell =
+let collective_arrive (co : ('k, 'c) core) (task : ('k, 'c) Task.t) call cell =
   task.Task.wait_cell <- cell;
-  match Mpisim.Engine.arrive st.engine ~rank:task.Task.rank ~cookie:task.Task.id call with
+  match
+    Mpisim.Engine.arrive co.engine ~rank:task.Task.rank ~cookie:task.Task.id
+      call
+  with
   | Mpisim.Engine.Busy_rank { pending_site; pending_kind } ->
       let error =
         Concurrent_collective
@@ -489,14 +258,14 @@ let collective_arrive st (task : Task.t) call cell =
                site = call.Mpisim.Coll.site;
                coll = Mpisim.Coll.kind_name call.Mpisim.Coll.kind;
              });
-      match Mpisim.Engine.try_complete st.engine with
+      match Mpisim.Engine.try_complete co.engine with
       | None -> ()
       | Some (Mpisim.Engine.Completed { calls; results }) ->
           List.iter
             (fun (rc : Mpisim.Engine.rank_call) ->
-              let t = find_task st rc.Mpisim.Engine.cookie in
+              let t = co.find rc.Mpisim.Engine.cookie in
               (match t.Task.wait_cell with
-              | Some c -> c := results.(rc.Mpisim.Engine.rank)
+              | Some c -> co.set_cell c results.(rc.Mpisim.Engine.rank)
               | None -> ());
               t.Task.wait_cell <- None;
               t.Task.status <- Task.Runnable)
@@ -506,56 +275,38 @@ let collective_arrive st (task : Task.t) call cell =
       | Some (Mpisim.Engine.Cc_divergence calls) ->
           raise (Abort_exn (Aborted (Cc_divergence calls))))
 
-let barrier_arrive st (task : Task.t) (team : Ompsim.Team.t) ~site =
+let barrier_arrive (co : _ core) task (team : Ompsim.Team.t) ~site =
   match Ompsim.Barrier.arrive team.Ompsim.Team.barrier ~cookie:task.Task.id with
-  | Ompsim.Barrier.Wait -> task.Task.status <- Task.Blocked (Task.At_barrier { site })
+  | Ompsim.Barrier.Wait ->
+      task.Task.status <- Task.Blocked (Task.At_barrier { site })
   | Ompsim.Barrier.Release cookies ->
-      List.iter
-        (fun c -> (find_task st c).Task.status <- Task.Runnable)
-        cookies
+      List.iter (fun c -> (co.find c).Task.status <- Task.Runnable) cookies
 
-(* ------------------------------------------------------------------ *)
-(* Checks                                                              *)
-(* ------------------------------------------------------------------ *)
+(* The instrumentation checks (the paper's CC agreement and concurrency
+   counters). *)
+let cc_arrive (co : _ core) task ~color ~site =
+  co.stats.cc_calls <- co.stats.cc_calls + 1;
+  collective_arrive co task (Mpisim.Coll.cc_check ~color ~site) None
 
-let exec_check st (task : Task.t) site (check : Ast.check) =
-  match check with
-  | Ast.Cc_next_collective { color; coll_name } ->
-      st.stats.cc_calls <- st.stats.cc_calls + 1;
-      let call =
-        Mpisim.Coll.cc_check ~color
-          ~site:(Printf.sprintf "%s (next: %s)" site coll_name)
-      in
-      collective_arrive st task call None
-  | Ast.Cc_return ->
-      st.stats.cc_calls <- st.stats.cc_calls + 1;
-      let call =
-        Mpisim.Coll.cc_check ~color:Ast.cc_return_color
-          ~site:(Printf.sprintf "%s (function exit)" site)
-      in
-      collective_arrive st task call None
-  | Ast.Assert_monothread { region } ->
-      ignore region;
-      if Task.team_size task > 1 && task.Task.single_depth = 0 then
-        raise
-          (Abort_exn (Aborted (Multithreaded_region { rank = task.Task.rank; site })))
-  | Ast.Count_enter { region } ->
-      st.stats.counter_checks <- st.stats.counter_checks + 1;
-      let key = (task.Task.rank, region) in
-      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt st.counters key) in
-      Hashtbl.replace st.counters key n;
-      if n > 1 then
-        raise
-          (Abort_exn
-             (Aborted (Concurrent_region { rank = task.Task.rank; region; site })))
-  | Ast.Count_exit { region } ->
-      let key = (task.Task.rank, region) in
-      let n = Option.value ~default:0 (Hashtbl.find_opt st.counters key) in
-      Hashtbl.replace st.counters key (max 0 (n - 1))
+let check_assert_mono (_ : _ core) task ~site =
+  if Task.team_size task > 1 && task.Task.single_depth = 0 then
+    raise
+      (Abort_exn (Aborted (Multithreaded_region { rank = task.Task.rank; site })))
 
-(* ------------------------------------------------------------------ *)
-(* Statement execution                                                 *)
-(* ------------------------------------------------------------------ *)
+let check_count_enter (co : _ core) task ~region ~site =
+  co.stats.counter_checks <- co.stats.counter_checks + 1;
+  let key = (task.Task.rank, region) in
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt co.counters key) in
+  Hashtbl.replace co.counters key n;
+  if n > 1 then
+    raise
+      (Abort_exn
+         (Aborted (Concurrent_region { rank = task.Task.rank; region; site })))
+
+let check_count_exit (co : _ core) task ~region =
+  let key = (task.Task.rank, region) in
+  let n = Option.value ~default:0 (Hashtbl.find_opt co.counters key) in
+  Hashtbl.replace co.counters key (max 0 (n - 1))
 
 (* Dynamic thread-level requirement of the calling context: no team means
    the single initial thread; inside a [single]/[master]/[section] body one
@@ -563,7 +314,7 @@ let exec_check st (task : Task.t) site (check : Ast.check) =
    merge of FUNNELED and SERIALIZED); any other in-team context is
    unrestricted threading.  Applies to collectives and point-to-point
    calls alike. *)
-let enforce_thread_level st (task : Task.t) site =
+let enforce_thread_level (co : _ core) task site =
   let required =
     match task.Task.team with
     | None -> Mpisim.Thread_level.Single
@@ -571,7 +322,7 @@ let enforce_thread_level st (task : Task.t) site =
         if task.Task.single_depth > 0 then Mpisim.Thread_level.Serialized
         else Mpisim.Thread_level.Multiple
   in
-  if not (Mpisim.Thread_level.includes st.config.thread_level required) then
+  if not (Mpisim.Thread_level.includes co.config.thread_level required) then
     raise
       (Abort_exn
          (Fault
@@ -580,18 +331,362 @@ let enforce_thread_level st (task : Task.t) site =
                  rank = task.Task.rank;
                  site;
                  required;
-                 provided = st.config.thread_level;
+                 provided = co.config.thread_level;
                })))
 
-let push_single_body st (task : Task.t) body env ~team ~nowait =
-  ignore st;
+let do_send (co : _ core) task ~value ~dst ~tag ~site =
+  if dst < 0 || dst >= co.config.nranks then
+    fail_eval task.Task.rank site "send destination %d out of range" dst;
+  Mpisim.Mailbox.send co.mailbox ~src:task.Task.rank ~dst ~tag ~value ~site;
+  (* An eager send may unblock a matching receiver of [dst]. *)
+  co.iter_tasks (fun t ->
+      match t.Task.status with
+      | Task.Blocked (Task.At_recv { src; tag; _ }) when t.Task.rank = dst -> (
+          match Mpisim.Mailbox.recv co.mailbox ~dst ~src ~tag with
+          | Some m ->
+              (match t.Task.wait_cell with
+              | Some cell -> co.set_cell cell m.Mpisim.Mailbox.value
+              | None -> ());
+              t.Task.wait_cell <- None;
+              t.Task.status <- Task.Runnable
+          | None -> ())
+      | _ -> ())
+
+(* Source range already checked by the caller (before resolving the
+   target cell, to match the reference's error order). *)
+let recv_attempt (co : _ core) task cell ~src ~tag ~site =
+  match Mpisim.Mailbox.recv co.mailbox ~dst:task.Task.rank ~src ~tag with
+  | Some m -> co.set_cell cell m.Mpisim.Mailbox.value
+  | None ->
+      task.Task.wait_cell <- Some cell;
+      task.Task.status <- Task.Blocked (Task.At_recv { src; tag; site })
+
+let critical_acquire (co : _ core) task ~name ~site =
+  match
+    Ompsim.Critical.acquire co.criticals.(task.Task.rank) ~name
+      ~cookie:task.Task.id
+  with
+  | Ompsim.Critical.Acquired -> ()
+  | Ompsim.Critical.Must_wait ->
+      task.Task.status <- Task.Blocked (Task.At_critical { name; site })
+
+let critical_release (co : _ core) task name =
+  match
+    Ompsim.Critical.release co.criticals.(task.Task.rank) ~name
+      ~cookie:task.Task.id
+  with
+  | None -> ()
+  | Some next -> (co.find next).Task.status <- Task.Runnable
+
+let finish_task (co : _ core) task =
+  task.Task.status <- Task.Finished;
+  match task.Task.team with
+  | None -> ()
+  | Some team ->
+      if Ompsim.Team.member_finished team then begin
+        let forker = co.find team.Ompsim.Team.forker in
+        forker.Task.status <- Task.Runnable
+      end
+
+(* ------------------------------------------------------------------ *)
+(* State fingerprinting (shared half)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The fingerprint is a hash of every semantically live component of the
+   simulator state: task list (in scheduling order), continuation stacks
+   with environment values, collective rendezvous slots, point-to-point
+   inboxes, critical locks and concurrency counters.  Equal states hash
+   equal by construction; the converse is heuristic (63-bit hash, plus
+   environment *values* stand in for cell sharing structure) — see
+   docs/PERFORMANCE.md for the soundness discussion. *)
+
+let mix h x = (((h lsl 5) + h) lxor x) land max_int
+
+let team_opt_hash = function
+  | None -> 0x5bd1e995
+  | Some (tm : Ompsim.Team.t) ->
+      let singles =
+        (* Claim-table iteration order varies; combine commutatively. *)
+        Hashtbl.fold
+          (fun key () acc -> acc + (Hashtbl.hash key lor 1))
+          tm.Ompsim.Team.singles 0
+      in
+      (* The creation-order team id (and the forker cookie) depend on the
+         schedule that spawned the team; identify it by its logical
+         coordinates instead. *)
+      let coords =
+        mix
+          (mix (mix tm.Ompsim.Team.rank tm.Ompsim.Team.size)
+             tm.Ompsim.Team.depth)
+          tm.Ompsim.Team.finished
+      in
+      mix
+        (mix coords (Ompsim.Barrier.waiting_count tm.Ompsim.Team.barrier))
+        singles
+
+(* One task's contribution, parameterised by the continuation hash and
+   the cell reader of the interpreter core. *)
+let task_hash_gen ~kont_hash ~cell_value h (t : _ Task.t) =
+  (* No [t.id]: dynamic ids depend on spawn interleaving.  The logical
+     identity is (rank, tid) plus the position in the fold. *)
+  let h = mix h t.Task.rank in
+  let h = mix h t.Task.tid in
+  let h = mix h (Task.status_hash t.Task.status) in
+  let h = mix h t.Task.single_depth in
+  let h =
+    mix h
+      (match t.Task.wait_cell with
+      | None -> 0x61c88647
+      | Some c -> mix 0x2d51 (cell_value c))
+  in
+  let h = mix h (Task.encounters_hash t) in
+  let h = mix h (team_opt_hash t.Task.team) in
+  List.fold_left (fun h k -> mix h (kont_hash k)) h t.Task.konts
+
+(* The non-continuation half of the state: collective rendezvous (rank
+   order), mailboxes (FIFO order is semantic), criticals (sorted by name)
+   and live concurrency counters (order-insensitive, zero entries elided —
+   a region exited to zero must equal one never entered).  [pos_of_id]
+   canonicalises dynamic task ids to scheduling-order positions. *)
+let plumbing_hash (co : _ core) ~pos_of_id h =
+  let h =
+    List.fold_left
+      (fun h (rc : Mpisim.Engine.rank_call) ->
+        mix
+          (mix (mix h rc.Mpisim.Engine.rank)
+             (pos_of_id rc.Mpisim.Engine.cookie))
+          (Hashtbl.hash
+             ( Mpisim.Coll.signature rc.Mpisim.Engine.call,
+               rc.Mpisim.Engine.call.Mpisim.Coll.payload )))
+      h
+      (Mpisim.Engine.pending co.engine)
+  in
+  let h = ref h in
+  for rank = 0 to co.config.nranks - 1 do
+    List.iter
+      (fun (m : Mpisim.Mailbox.message) ->
+        h :=
+          mix !h
+            (Hashtbl.hash
+               ( m.Mpisim.Mailbox.src,
+                 m.Mpisim.Mailbox.tag,
+                 m.Mpisim.Mailbox.value )))
+      (Mpisim.Mailbox.inbox co.mailbox rank);
+    List.iter
+      (fun (name, holder, waiters) ->
+        h :=
+          mix !h
+            (Hashtbl.hash
+               (name, Option.map pos_of_id holder, List.map pos_of_id waiters)))
+      (Ompsim.Critical.state co.criticals.(rank))
+  done;
+  let counters =
+    Hashtbl.fold
+      (fun key n acc ->
+        if n = 0 then acc else acc + (Hashtbl.hash (key, n) lor 1))
+      co.counters 0
+  in
+  mix !h counters
+
+(* ================================================================== *)
+(* Reference core: the original AST tree-walker (equivalence oracle)    *)
+(* ================================================================== *)
+
+type rtask = (Task.kont, Env.cell) Task.t
+
+type rstate = {
+  core : (Task.kont, Env.cell) core;
+  program : Ast.program;
+  ids : stmt_ids option;  (** Canonical ids (probe runs). *)
+  uids : int Stmt_tbl.t;  (** Dynamic fallback, numbered downwards. *)
+  mutable next_uid : int;
+  tasks : rtask list ref;  (** All tasks ever spawned, oldest first. *)
+  task_tbl : (int, rtask) Hashtbl.t;
+  mutable next_task_id : int;
+}
+
+(* Construct uids: canonical AST ids when a probe supplies them (so
+   [single] arbitration keys — and hence fingerprints — are stable across
+   schedules), dynamic encounter-order ids otherwise.  The dynamic
+   numbering counts downwards from -1 so the two ranges never collide. *)
+let dynamic_uid st stmt =
+  match Stmt_tbl.find_opt st.uids stmt with
+  | Some u -> u
+  | None ->
+      let u = st.next_uid in
+      st.next_uid <- u - 1;
+      Stmt_tbl.replace st.uids stmt u;
+      u
+
+let uid_of st stmt =
+  match st.ids with
+  | Some ids -> (
+      match Stmt_tbl.find_opt ids stmt with
+      | Some u -> u
+      | None -> dynamic_uid st stmt)
+  | None -> dynamic_uid st stmt
+
+let spawn st ~rank ~tid ~team ~konts =
+  let id = st.next_task_id in
+  st.next_task_id <- id + 1;
+  let t = Task.make ~id ~rank ~tid ~team ~konts in
+  st.tasks := !(st.tasks) @ [ t ];
+  Hashtbl.replace st.task_tbl id t;
+  st.core.stats.tasks_spawned <- st.core.stats.tasks_spawned + 1;
+  t
+
+(* A block suffix is identified by its head statement: statements are
+   physically unique AST nodes, so the canonical id of the head pins the
+   whole remaining suffix. *)
+let block_hash ids (b : Ast.block) =
+  match b with
+  | [] -> 0x27d4eb2f
+  | s :: _ -> (
+      match Stmt_tbl.find_opt ids s with
+      | Some u -> u + 0x100
+      | None -> Hashtbl.hash s.Ast.sloc)
+
+let env_hash (env : Env.t) =
+  Env.StringMap.fold
+    (fun name cell h -> mix (mix h (Hashtbl.hash name)) !cell)
+    env 0x51ed270b
+
+let kont_hash ids (k : Task.kont) =
+  match k with
+  | Task.Kseq (b, env) -> mix (mix 1 (block_hash ids b)) (env_hash env)
+  | Task.Kwhile (c, body, env) ->
+      mix (mix (mix 2 (Hashtbl.hash c)) (block_hash ids body)) (env_hash env)
+  | Task.Kfor { var; current; stop; body; env } ->
+      mix
+        (mix
+           (mix (mix (mix 3 (Hashtbl.hash var)) current) stop)
+           (block_hash ids body))
+        (env_hash env)
+  | Task.Kcall_return -> 4
+  | Task.Kenter_single -> 5
+  | Task.Kexit_single { team; nowait } ->
+      mix (mix 6 (team_opt_hash team)) (Bool.to_int nowait)
+  | Task.Kexit_ws { team; nowait } ->
+      mix (mix 7 (team_opt_hash team)) (Bool.to_int nowait)
+  | Task.Kcritical_end name -> mix 8 (Hashtbl.hash name)
+  | Task.Kreduce_combine { op; shared; private_ } ->
+      mix (mix (mix 9 (Hashtbl.hash op)) !shared) !private_
+
+let state_hash st ids =
+  (* Dynamic task ids (engine cookies, lock owners) depend on the spawn
+     interleaving; canonicalise each to the task's position in
+     scheduling order before it enters the hash. *)
+  let pos_of_id =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i (t : rtask) -> Hashtbl.replace tbl t.Task.id i) !(st.tasks);
+    fun id -> match Hashtbl.find_opt tbl id with Some i -> i | None -> -1
+  in
+  (* Task order matters (round-robin indexing), so fold in sequence. *)
+  let h =
+    List.fold_left
+      (fun h t ->
+        task_hash_gen ~kont_hash:(kont_hash ids) ~cell_value:( ! ) h t)
+      0x811c9dc5 !(st.tasks)
+  in
+  plumbing_hash st.core ~pos_of_id h
+
+(* ------------------------------------------------------------------ *)
+(* Reference expression evaluation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval st (task : rtask) env site (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> n
+  | Ast.Bool b -> if b then 1 else 0
+  | Ast.Var x -> (
+      try Env.lookup x env
+      with Env.Unbound x ->
+        fail_eval task.Task.rank site "unbound variable '%s'" x)
+  | Ast.Rank -> task.Task.rank
+  | Ast.Size -> st.core.config.nranks
+  | Ast.Tid -> task.Task.tid
+  | Ast.Nthreads -> Task.team_size task
+  | Ast.Unop (Neg, e) -> -eval st task env site e
+  | Ast.Unop (Not, e) -> if eval st task env site e = 0 then 1 else 0
+  | Ast.Binop (op, a, b) -> (
+      let x = eval st task env site a in
+      match op with
+      | And -> if x = 0 then 0 else min 1 (abs (eval st task env site b))
+      | Or -> if x <> 0 then 1 else min 1 (abs (eval st task env site b))
+      | _ -> (
+          let y = eval st task env site b in
+          let bool_of c = if c then 1 else 0 in
+          match op with
+          | Add -> x + y
+          | Sub -> x - y
+          | Mul -> x * y
+          | Div ->
+              if y = 0 then fail_eval task.Task.rank site "division by zero"
+              else x / y
+          | Mod ->
+              if y = 0 then fail_eval task.Task.rank site "modulo by zero"
+              else x mod y
+          | Eq -> bool_of (x = y)
+          | Ne -> bool_of (x <> y)
+          | Lt -> bool_of (x < y)
+          | Le -> bool_of (x <= y)
+          | Gt -> bool_of (x > y)
+          | Ge -> bool_of (x >= y)
+          | And | Or -> assert false))
+
+let call_of_collective st (task : rtask) env site (c : Ast.collective) =
+  let ev e = eval st task env site e in
+  let root e =
+    let r = ev e in
+    if r < 0 || r >= st.core.config.nranks then
+      fail_eval task.Task.rank site "collective root %d out of range" r
+    else r
+  in
+  let make kind ?op ?root ~payload () =
+    Mpisim.Coll.make kind ?op ?root ~payload ~site ()
+  in
+  match c with
+  | Barrier -> make Mpisim.Coll.Barrier ~payload:0 ()
+  | Bcast { root = r; value } ->
+      make Mpisim.Coll.Bcast ~root:(root r) ~payload:(ev value) ()
+  | Reduce { op; root = r; value } ->
+      make Mpisim.Coll.Reduce ~op:(op_of_ast op) ~root:(root r)
+        ~payload:(ev value) ()
+  | Allreduce { op; value } ->
+      make Mpisim.Coll.Allreduce ~op:(op_of_ast op) ~payload:(ev value) ()
+  | Gather { root = r; value } ->
+      make Mpisim.Coll.Gather ~root:(root r) ~payload:(ev value) ()
+  | Scatter { root = r; value } ->
+      make Mpisim.Coll.Scatter ~root:(root r) ~payload:(ev value) ()
+  | Allgather { value } -> make Mpisim.Coll.Allgather ~payload:(ev value) ()
+  | Alltoall { value } -> make Mpisim.Coll.Alltoall ~payload:(ev value) ()
+  | Scan { op; value } ->
+      make Mpisim.Coll.Scan ~op:(op_of_ast op) ~payload:(ev value) ()
+  | Reduce_scatter { op; value } ->
+      make Mpisim.Coll.Reduce_scatter ~op:(op_of_ast op) ~payload:(ev value) ()
+
+let exec_check st (task : rtask) site (check : Ast.check) =
+  match check with
+  | Ast.Cc_next_collective { color; coll_name } ->
+      cc_arrive st.core task ~color
+        ~site:(Printf.sprintf "%s (next: %s)" site coll_name)
+  | Ast.Cc_return ->
+      cc_arrive st.core task ~color:Ast.cc_return_color
+        ~site:(Printf.sprintf "%s (function exit)" site)
+  | Ast.Assert_monothread { region } ->
+      ignore region;
+      check_assert_mono st.core task ~site
+  | Ast.Count_enter { region } -> check_count_enter st.core task ~region ~site
+  | Ast.Count_exit { region } -> check_count_exit st.core task ~region
+
+let push_single_body (task : rtask) body env ~team ~nowait =
   task.Task.konts <-
     Task.Kenter_single
     :: Task.Kseq (body, env)
     :: Task.Kexit_single { team; nowait }
     :: task.Task.konts
 
-let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
+let exec_stmt st (task : rtask) (s : Ast.stmt) env =
   let site = Loc.to_string s.Ast.sloc in
   let ev e = eval st task env site e in
   match s.Ast.sdesc with
@@ -599,7 +694,8 @@ let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
   | Ast.Assign (x, e) -> (
       let v = ev e in
       try Env.assign x v env
-      with Env.Unbound x -> eval_error st task site "unbound variable '%s'" x)
+      with Env.Unbound x ->
+        fail_eval task.Task.rank site "unbound variable '%s'" x)
   | Ast.If (c, bt, bf) ->
       let branch = if ev c <> 0 then bt else bf in
       task.Task.konts <- Task.Kseq (branch, env) :: task.Task.konts
@@ -619,10 +715,10 @@ let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
       task.Task.konts <- unwind task.Task.konts
   | Ast.Call (fname, args) -> (
       match Ast.find_func st.program fname with
-      | None -> eval_error st task site "undefined function '%s'" fname
+      | None -> fail_eval task.Task.rank site "undefined function '%s'" fname
       | Some f ->
           if List.length f.Ast.params <> List.length args then
-            eval_error st task site "arity mismatch calling '%s'" fname;
+            fail_eval task.Task.rank site "arity mismatch calling '%s'" fname;
           let env0 =
             List.fold_left2
               (fun acc p a -> Env.declare p (ev a) acc)
@@ -632,13 +728,14 @@ let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
             Task.Kseq (f.Ast.body, env0) :: Task.Kcall_return :: task.Task.konts)
   | Ast.Compute e ->
       let n = ev e in
-      st.stats.work <- st.stats.work + max 0 n
+      st.core.stats.work <- st.core.stats.work + max 0 n
   | Ast.Print e ->
       let v = ev e in
-      if st.config.record_trace then
-        st.stats.trace <- (task.Task.rank, task.Task.tid, v) :: st.stats.trace
+      if st.core.config.record_trace then
+        st.core.stats.trace <-
+          (task.Task.rank, task.Task.tid, v) :: st.core.stats.trace
   | Ast.Coll (target, c) ->
-      enforce_thread_level st task site;
+      enforce_thread_level st.core task site;
       let call = call_of_collective st task env site c in
       let cell =
         match target with
@@ -646,55 +743,34 @@ let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
         | Some x -> (
             try Some (Env.cell x env)
             with Env.Unbound x ->
-              eval_error st task site "unbound variable '%s'" x)
+              fail_eval task.Task.rank site "unbound variable '%s'" x)
       in
-      collective_arrive st task call cell
+      collective_arrive st.core task call cell
   | Ast.Check check -> exec_check st task site check
   | Ast.Send { value; dest; tag } ->
-      enforce_thread_level st task site;
+      enforce_thread_level st.core task site;
       let v = ev value and dst = ev dest and tag = ev tag in
-      if dst < 0 || dst >= st.config.nranks then
-        eval_error st task site "send destination %d out of range" dst;
-      Mpisim.Mailbox.send st.mailbox ~src:task.Task.rank ~dst ~tag ~value:v
-        ~site;
-      (* An eager send may unblock a matching receiver of [dst]. *)
-      List.iter
-        (fun (t : Task.t) ->
-          match t.Task.status with
-          | Task.Blocked (Task.At_recv { src; tag; _ }) when t.Task.rank = dst
-            -> (
-              match Mpisim.Mailbox.recv st.mailbox ~dst ~src ~tag with
-              | Some m ->
-                  (match t.Task.wait_cell with
-                  | Some cell -> cell := m.Mpisim.Mailbox.value
-                  | None -> ());
-                  t.Task.wait_cell <- None;
-                  t.Task.status <- Task.Runnable
-              | None -> ())
-          | _ -> ())
-        st.tasks
-  | Ast.Recv { target; src; tag } -> (
-      enforce_thread_level st task site;
+      do_send st.core task ~value:v ~dst ~tag ~site
+  | Ast.Recv { target; src; tag } ->
+      enforce_thread_level st.core task site;
       let src = ev src and tag = ev tag in
-      if src <> Mpisim.Mailbox.any_source
-         && (src < 0 || src >= st.config.nranks)
-      then eval_error st task site "receive source %d out of range" src;
+      if
+        src <> Mpisim.Mailbox.any_source && (src < 0 || src >= st.core.config.nranks)
+      then fail_eval task.Task.rank site "receive source %d out of range" src;
       let cell =
         try Env.cell target env
-        with Env.Unbound x -> eval_error st task site "unbound variable '%s'" x
+        with Env.Unbound x ->
+          fail_eval task.Task.rank site "unbound variable '%s'" x
       in
-      match Mpisim.Mailbox.recv st.mailbox ~dst:task.Task.rank ~src ~tag with
-      | Some m -> cell := m.Mpisim.Mailbox.value
-      | None ->
-          task.Task.wait_cell <- Some cell;
-          task.Task.status <- Task.Blocked (Task.At_recv { src; tag; site }))
+      recv_attempt st.core task cell ~src ~tag ~site
   | Ast.Omp_parallel { num_threads; body } ->
       let n =
         match num_threads with
-        | None -> st.config.default_nthreads
+        | None -> st.core.config.default_nthreads
         | Some e -> ev e
       in
-      if n <= 0 then eval_error st task site "num_threads(%d) must be positive" n;
+      if n <= 0 then
+        fail_eval task.Task.rank site "num_threads(%d) must be positive" n;
       let team =
         Ompsim.Team.create ~rank:task.Task.rank ~size:n ~parent:task.Task.team
           ~forker:task.Task.id
@@ -707,34 +783,28 @@ let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
       task.Task.status <- Task.Blocked Task.At_join
   | Ast.Omp_single { nowait; body } -> (
       match task.Task.team with
-      | None -> push_single_body st task body env ~team:None ~nowait:true
+      | None -> push_single_body task body env ~team:None ~nowait:true
       | Some team ->
           let uid = uid_of st s in
           let instance = Task.next_instance task uid in
           if Ompsim.Team.claim_single team ~construct:uid ~instance then
-            push_single_body st task body env ~team:(Some team) ~nowait
-          else if not nowait then barrier_arrive st task team ~site)
+            push_single_body task body env ~team:(Some team) ~nowait
+          else if not nowait then barrier_arrive st.core task team ~site)
   | Ast.Omp_master body -> (
       match task.Task.team with
-      | None -> push_single_body st task body env ~team:None ~nowait:true
+      | None -> push_single_body task body env ~team:None ~nowait:true
       | Some _ ->
           if task.Task.tid = 0 then
-            push_single_body st task body env ~team:None ~nowait:true)
-  | Ast.Omp_critical (name, body) -> (
+            push_single_body task body env ~team:None ~nowait:true)
+  | Ast.Omp_critical (name, body) ->
       let name = Option.value name ~default:Ompsim.Critical.anonymous in
       task.Task.konts <-
         Task.Kseq (body, env) :: Task.Kcritical_end name :: task.Task.konts;
-      match
-        Ompsim.Critical.acquire st.criticals.(task.Task.rank) ~name
-          ~cookie:task.Task.id
-      with
-      | Ompsim.Critical.Acquired -> ()
-      | Ompsim.Critical.Must_wait ->
-          task.Task.status <- Task.Blocked (Task.At_critical { name; site }))
+      critical_acquire st.core task ~name ~site
   | Ast.Omp_barrier -> (
       match task.Task.team with
       | None -> ()
-      | Some team -> barrier_arrive st task team ~site)
+      | Some team -> barrier_arrive st.core task team ~site)
   | Ast.Omp_for { var; lo; hi; nowait; reduction; body } ->
       let l = ev lo and h = ev hi in
       let start, stop =
@@ -751,15 +821,15 @@ let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
             let shared =
               try Env.cell x env
               with Env.Unbound x ->
-                eval_error st task site "unbound reduction variable '%s'" x
+                fail_eval task.Task.rank site "unbound reduction variable '%s'"
+                  x
             in
             let private_ = ref (reduction_identity op) in
             ( Env.StringMap.add x private_ env,
               [ Task.Kreduce_combine { op; shared; private_ } ] )
       in
       task.Task.konts <-
-        (Task.Kfor { var; current = start; stop; body; env }
-        :: combine_konts)
+        (Task.Kfor { var; current = start; stop; body; env } :: combine_konts)
         @ Task.Kexit_ws { team = task.Task.team; nowait }
           :: task.Task.konts
   | Ast.Omp_sections { nowait; sections } ->
@@ -785,23 +855,9 @@ let exec_stmt st (task : Task.t) (s : Ast.stmt) env =
         konts_for_sections
         @ (Task.Kexit_ws { team = task.Task.team; nowait } :: task.Task.konts)
 
-(* ------------------------------------------------------------------ *)
-(* Small-step driver                                                   *)
-(* ------------------------------------------------------------------ *)
-
-let finish_task st (task : Task.t) =
-  task.Task.status <- Task.Finished;
-  match task.Task.team with
-  | None -> ()
-  | Some team ->
-      if Ompsim.Team.member_finished team then begin
-        let forker = find_task st team.Ompsim.Team.forker in
-        forker.Task.status <- Task.Runnable
-      end
-
-let step st (task : Task.t) =
+let step st (task : rtask) =
   match task.Task.konts with
-  | [] -> finish_task st task
+  | [] -> finish_task st.core task
   | k :: rest -> (
       match k with
       | Task.Kseq ([], _) -> task.Task.konts <- rest
@@ -833,25 +889,24 @@ let step st (task : Task.t) =
           task.Task.konts <- rest;
           match team with
           | Some tm when not nowait ->
-              barrier_arrive st task tm ~site:"<end single>"
+              barrier_arrive st.core task tm ~site:"<end single>"
           | Some _ | None -> ())
       | Task.Kexit_ws { team; nowait } -> (
           task.Task.konts <- rest;
           match team with
           | Some tm when not nowait ->
-              barrier_arrive st task tm ~site:"<end worksharing>"
+              barrier_arrive st.core task tm ~site:"<end worksharing>"
           | Some _ | None -> ())
       | Task.Kreduce_combine { op; shared; private_ } ->
           shared := apply_reduce_op op !shared !private_;
           task.Task.konts <- rest
-      | Task.Kcritical_end name -> (
+      | Task.Kcritical_end name ->
           task.Task.konts <- rest;
-          match
-            Ompsim.Critical.release st.criticals.(task.Task.rank) ~name
-              ~cookie:task.Task.id
-          with
-          | None -> ()
-          | Some next -> (find_task st next).Task.status <- Task.Runnable))
+          critical_release st.core task name)
+
+(* ------------------------------------------------------------------ *)
+(* Printers                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let pp_error ppf = function
   | Mismatch calls ->
@@ -894,14 +949,25 @@ let pp_outcome ppf = function
 
 let outcome_to_string o = Fmt.str "%a" pp_outcome o
 
-(** Execute [program] (already validated).  [probe], when given, turns on
-    the exploration instrumentation: state fingerprints for the first
-    [probe_depth] steps land in the probe's preallocated buffer, the
-    degree record is capped at the same depth, and construct uids come
-    from the probe's canonical table.
+let make_stats ~degree_cap =
+  {
+    steps = 0;
+    work = 0;
+    counter_checks = 0;
+    cc_calls = 0;
+    tasks_spawned = 0;
+    trace = [];
+    degrees = Array.make degree_cap 0;
+    ndegrees = 0;
+  }
+
+(** The original AST-walking interpreter, kept as the equivalence oracle
+    for the compiled core.  Same contract as {!run} (including [probe]
+    support); its scheduler deliberately keeps the historical
+    [List.filter]+[List.nth] runnable selection.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-let run ?(config = default_config) ?probe (program : Ast.program) =
+let run_reference ?(config = default_config) ?probe (program : Ast.program) =
   let entry =
     match Ast.find_func program config.entry with
     | Some f -> f
@@ -914,31 +980,31 @@ let run ?(config = default_config) ?probe (program : Ast.program) =
   (* Probe runs only ever branch within the fingerprinted window, so the
      degree buffer shrinks to match; plain runs keep the historical cap. *)
   let degree_cap = match probe with Some p -> p.fp_depth + 1 | None -> 64 in
-  let st =
+  let task_tbl = Hashtbl.create 64 in
+  let tasks = ref [] in
+  let core =
     {
       config;
-      program;
       engine = Mpisim.Engine.create ~nranks:config.nranks;
       mailbox = Mpisim.Mailbox.create ~nranks:config.nranks;
       criticals = Array.init config.nranks (fun _ -> Ompsim.Critical.create ());
       counters = Hashtbl.create 16;
+      stats = make_stats ~degree_cap;
+      find = (fun id -> Hashtbl.find task_tbl id);
+      set_cell = (fun c v -> c := v);
+      iter_tasks = (fun f -> List.iter f !tasks);
+    }
+  in
+  let st =
+    {
+      core;
+      program;
       ids = Option.map (fun (p : probe) -> p.ids) probe;
       uids = Stmt_tbl.create 64;
       next_uid = -1;
-      tasks = [];
-      task_tbl = Hashtbl.create 64;
+      tasks;
+      task_tbl;
       next_task_id = 0;
-      stats =
-        {
-          steps = 0;
-          work = 0;
-          counter_checks = 0;
-          cc_calls = 0;
-          tasks_spawned = 0;
-          trace = [];
-          degrees = Array.make degree_cap 0;
-          ndegrees = 0;
-        };
     }
   in
   for rank = 0 to config.nranks - 1 do
@@ -956,14 +1022,14 @@ let run ?(config = default_config) ?probe (program : Ast.program) =
   in
   let cursor = ref 0 in
   let pick () =
-    let runnable = List.filter Task.is_runnable st.tasks in
+    let runnable = List.filter Task.is_runnable !(st.tasks) in
     match runnable with
     | [] -> None
     | _ -> (
         let n = List.length runnable in
-        if st.stats.ndegrees < degree_cap then begin
-          st.stats.degrees.(st.stats.ndegrees) <- n;
-          st.stats.ndegrees <- st.stats.ndegrees + 1
+        if core.stats.ndegrees < degree_cap then begin
+          core.stats.degrees.(core.stats.ndegrees) <- n;
+          core.stats.ndegrees <- core.stats.ndegrees + 1
         end;
         match (rng, !script) with
         | Some rng, _ -> Some (List.nth runnable (Random.State.int rng n))
@@ -982,40 +1048,594 @@ let run ?(config = default_config) ?probe (program : Ast.program) =
     | Some p ->
         p.fp_recorded <- 0;
         fun () ->
-          if st.stats.steps <= p.fp_depth && p.fp_recorded = st.stats.steps
+          if
+            core.stats.steps <= p.fp_depth && p.fp_recorded = core.stats.steps
           then begin
-            p.fingerprints.(st.stats.steps) <- state_hash st p.ids;
-            p.fp_recorded <- st.stats.steps + 1
+            p.fingerprints.(core.stats.steps) <- state_hash st p.ids;
+            p.fp_recorded <- core.stats.steps + 1
           end
   in
   let outcome =
     try
       let rec loop () =
-        if st.stats.steps >= config.max_steps then Step_limit
+        if core.stats.steps >= config.max_steps then Step_limit
         else begin
           record_fp ();
           match pick () with
           | Some task ->
-              st.stats.steps <- st.stats.steps + 1;
+              core.stats.steps <- core.stats.steps + 1;
               step st task;
               loop ()
           | None ->
-              if List.for_all (fun t -> t.Task.status = Task.Finished) st.tasks
+              if
+                List.for_all
+                  (fun (t : rtask) -> t.Task.status = Task.Finished)
+                  !(st.tasks)
               then Finished
               else
                 Deadlock
                   (List.filter_map
-                     (fun t ->
+                     (fun (t : rtask) ->
                        match t.Task.status with
                        | Task.Blocked _ -> Some (Task.describe t)
                        | Task.Runnable | Task.Finished -> None)
-                     st.tasks)
+                     !(st.tasks))
         end
       in
       loop ()
     with Abort_exn o -> o
   in
-  { outcome; stats = st.stats; engine = st.engine }
+  { outcome; stats = core.stats; engine = core.engine }
+
+(* ================================================================== *)
+(* Compiled core: executes the slot-resolved form of {!Compile}          *)
+(* ================================================================== *)
+
+(* Continuations over compiled blocks: a [CKseq] is a program counter
+   into a statement array (advancing allocates nothing), loops carry
+   their pre-compiled bodies, pre-hashed names/operators and the scope
+   descriptor that reproduces the reference environment hash. *)
+type ckont =
+  | CKseq of { code : Compile.cblock; mutable pc : int; frame : Compile.frame }
+  | CKwhile of {
+      cond : Compile.exprc;
+      chash : int;
+      scope : Compile.scope;
+      body : Compile.cblock;
+      frame : Compile.frame;
+    }
+  | CKfor of {
+      slot : int;
+      vhash : int;
+      mutable current : int;
+      stop : int;
+      scope : Compile.scope;
+      body : Compile.cblock;
+      frame : Compile.frame;
+    }
+  | CKcall_return
+  | CKenter_single
+  | CKexit_single of { team : Ompsim.Team.t option; nowait : bool }
+  | CKexit_ws of { team : Ompsim.Team.t option; nowait : bool }
+  | CKcritical_end of { name : string; nhash : int }
+  | CKreduce_combine of {
+      op : Ast.reduce_op;
+      ophash : int;
+      shared : Compile.loc;
+      private_ : Compile.loc;
+    }
+
+type ctask = (ckont, Compile.loc) Task.t
+
+(* Tasks live in a dense growable array: ids are assigned 0,1,2,… in
+   spawn order, so the id doubles as the array index ([core.find] is an
+   array load) and as the canonical scheduling-order position used by
+   fingerprints. *)
+type cstate = {
+  core : (ckont, Compile.loc) core;
+  ctasks : ctask array ref;
+  ectxs : Compile.ectx array ref;
+  ntasks : int ref;
+  runnable : int array ref;  (** Scratch for the scheduler's index scan. *)
+}
+
+let dummy_ctask : ctask =
+  Task.make ~id:(-1) ~rank:(-1) ~tid:0 ~team:None ~konts:[]
+
+let dummy_ectx =
+  { Compile.e_rank = 0; e_tid = 0; e_nthreads = 1; e_nranks = 1 }
+
+let cspawn st ~rank ~tid ~team ~konts =
+  let id = !(st.ntasks) in
+  if id >= Array.length !(st.ctasks) then begin
+    let cap = 2 * Array.length !(st.ctasks) in
+    let ts = Array.make cap dummy_ctask in
+    Array.blit !(st.ctasks) 0 ts 0 id;
+    st.ctasks := ts;
+    let es = Array.make cap dummy_ectx in
+    Array.blit !(st.ectxs) 0 es 0 id;
+    st.ectxs := es;
+    st.runnable := Array.make cap 0
+  end;
+  let t = Task.make ~id ~rank ~tid ~team ~konts in
+  !(st.ctasks).(id) <- t;
+  !(st.ectxs).(id) <-
+    {
+      Compile.e_rank = rank;
+      e_tid = tid;
+      e_nthreads = Ompsim.Team.size_of team;
+      e_nranks = st.core.config.nranks;
+    };
+  st.ntasks := id + 1;
+  st.core.stats.tasks_spawned <- st.core.stats.tasks_spawned + 1;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-state fingerprints (bit-identical to the reference's)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays [env_hash]: scope entries are sorted by name, values read from
+   the live frames. *)
+let scope_hash (sc : Compile.scope) (frame : Compile.frame) =
+  let h = ref 0x51ed270b in
+  for i = 0 to Array.length sc - 1 do
+    let e = sc.(i) in
+    let fr = Compile.up frame e.Compile.se_hops in
+    h := mix (mix !h e.Compile.se_nhash) fr.Compile.slots.(e.Compile.se_slot)
+  done;
+  !h
+
+let ckont_hash (k : ckont) =
+  match k with
+  | CKseq { code; pc; frame } ->
+      mix (mix 1 code.Compile.bhash.(pc)) (scope_hash code.Compile.scopes.(pc) frame)
+  | CKwhile { chash; scope; body; frame; _ } ->
+      mix (mix (mix 2 chash) body.Compile.bhash.(0)) (scope_hash scope frame)
+  | CKfor { vhash; current; stop; scope; body; frame; _ } ->
+      mix
+        (mix (mix (mix (mix 3 vhash) current) stop) body.Compile.bhash.(0))
+        (scope_hash scope frame)
+  | CKcall_return -> 4
+  | CKenter_single -> 5
+  | CKexit_single { team; nowait } ->
+      mix (mix 6 (team_opt_hash team)) (Bool.to_int nowait)
+  | CKexit_ws { team; nowait } ->
+      mix (mix 7 (team_opt_hash team)) (Bool.to_int nowait)
+  | CKcritical_end { nhash; _ } -> mix 8 nhash
+  | CKreduce_combine { ophash; shared; private_; _ } ->
+      mix (mix (mix 9 ophash) (Compile.read_loc shared)) (Compile.read_loc private_)
+
+let cstate_hash st =
+  let h = ref 0x811c9dc5 in
+  let tasks = !(st.ctasks) in
+  for i = 0 to !(st.ntasks) - 1 do
+    h :=
+      task_hash_gen ~kont_hash:ckont_hash ~cell_value:Compile.read_loc !h
+        tasks.(i)
+  done;
+  (* Compiled task ids are already scheduling-order positions. *)
+  plumbing_hash st.core ~pos_of_id:(fun id -> id) !h
+
+(* ------------------------------------------------------------------ *)
+(* Compiled statement execution                                         *)
+(* ------------------------------------------------------------------ *)
+
+let loc_of_vref frame (vr : Compile.vref) =
+  {
+    Compile.l_frame = Compile.up frame vr.Compile.v_hops;
+    l_slot = vr.Compile.v_slot;
+  }
+
+let cpush_single_body (task : ctask) body frame ~team ~nowait =
+  task.Task.konts <-
+    CKenter_single
+    :: CKseq { code = body; pc = 0; frame }
+    :: CKexit_single { team; nowait }
+    :: task.Task.konts
+
+let cexec_stmt st (task : ctask) (cs : Compile.cstmt) frame =
+  let ec = !(st.ectxs).(task.Task.id) in
+  let site = cs.Compile.site in
+  match cs.Compile.desc with
+  | Compile.CDecl (slot, value) ->
+      frame.Compile.slots.(slot) <- value ec frame
+  | Compile.CAssign (vr, value) ->
+      let v = value ec frame in
+      (Compile.up frame vr.Compile.v_hops).Compile.slots.(vr.Compile.v_slot) <-
+        v
+  | Compile.CAssign_unbound (x, value) ->
+      let (_ : int) = value ec frame in
+      fail_eval task.Task.rank site "unbound variable '%s'" x
+  | Compile.CIf (cond, bt, bf) ->
+      let branch = if cond ec frame <> 0 then bt else bf in
+      task.Task.konts <- CKseq { code = branch; pc = 0; frame } :: task.Task.konts
+  | Compile.CWhile { cond; chash; scope; body } ->
+      task.Task.konts <-
+        CKwhile { cond; chash; scope; body; frame } :: task.Task.konts
+  | Compile.CFor { slot; vhash; lo; hi; scope; body } ->
+      let l = lo ec frame in
+      let h = hi ec frame in
+      task.Task.konts <-
+        CKfor { slot; vhash; current = l; stop = h; scope; body; frame }
+        :: task.Task.konts
+  | Compile.CReturn ->
+      let rec unwind = function
+        | [] -> []
+        | CKcall_return :: rest -> rest
+        | _ :: rest -> unwind rest
+      in
+      task.Task.konts <- unwind task.Task.konts
+  | Compile.CCall_error message ->
+      raise
+        (Abort_exn
+           (Fault (Eval_error { rank = task.Task.rank; site; message })))
+  | Compile.CCall { target; args } ->
+      let nf = Compile.root_frame target.Compile.f_nslots in
+      Array.iteri (fun i a -> nf.Compile.slots.(i) <- a ec frame) args;
+      task.Task.konts <-
+        CKseq { code = target.Compile.f_body; pc = 0; frame = nf }
+        :: CKcall_return :: task.Task.konts
+  | Compile.CCompute e ->
+      let n = e ec frame in
+      st.core.stats.work <- st.core.stats.work + max 0 n
+  | Compile.CPrint e ->
+      let v = e ec frame in
+      if st.core.config.record_trace then
+        st.core.stats.trace <-
+          (task.Task.rank, task.Task.tid, v) :: st.core.stats.trace
+  | Compile.CColl { target; coll } ->
+      enforce_thread_level st.core task site;
+      (* Payload before root: the evaluation order of the reference's
+         labelled-argument construction. *)
+      let payload = coll.Compile.k_payload ec frame in
+      let root = Option.map (fun f -> f ec frame) coll.Compile.k_root in
+      let call =
+        Mpisim.Coll.make coll.Compile.k_kind ?op:coll.Compile.k_op ?root
+          ~payload ~site ()
+      in
+      let cell =
+        match target with
+        | None -> None
+        | Some (Compile.CRef vr) -> Some (loc_of_vref frame vr)
+        | Some (Compile.CUnbound x) ->
+            fail_eval task.Task.rank site "unbound variable '%s'" x
+      in
+      collective_arrive st.core task call cell
+  | Compile.CCheck check -> (
+      match check with
+      | Compile.KCc_next { color; csite } ->
+          cc_arrive st.core task ~color ~site:csite
+      | Compile.KCc_return { csite } ->
+          cc_arrive st.core task ~color:Ast.cc_return_color ~site:csite
+      | Compile.KAssert_mono -> check_assert_mono st.core task ~site
+      | Compile.KCount_enter region ->
+          check_count_enter st.core task ~region ~site
+      | Compile.KCount_exit region -> check_count_exit st.core task ~region)
+  | Compile.CSend { value; dest; tag } ->
+      enforce_thread_level st.core task site;
+      let v = value ec frame in
+      let dst = dest ec frame in
+      let tag = tag ec frame in
+      do_send st.core task ~value:v ~dst ~tag ~site
+  | Compile.CRecv { target; src; tag } ->
+      enforce_thread_level st.core task site;
+      let src = src ec frame in
+      let tag = tag ec frame in
+      if src <> Mpisim.Mailbox.any_source && (src < 0 || src >= st.core.config.nranks)
+      then fail_eval task.Task.rank site "receive source %d out of range" src;
+      let cell =
+        match target with
+        | Compile.CRef vr -> loc_of_vref frame vr
+        | Compile.CUnbound x ->
+            fail_eval task.Task.rank site "unbound variable '%s'" x
+      in
+      recv_attempt st.core task cell ~src ~tag ~site
+  | Compile.CPar { num_threads; nslots; body } ->
+      let n =
+        match num_threads with
+        | None -> st.core.config.default_nthreads
+        | Some f -> f ec frame
+      in
+      if n <= 0 then
+        fail_eval task.Task.rank site "num_threads(%d) must be positive" n;
+      let team =
+        Ompsim.Team.create ~rank:task.Task.rank ~size:n ~parent:task.Task.team
+          ~forker:task.Task.id
+      in
+      for tid = 0 to n - 1 do
+        let fr = Compile.child_frame ~parent:frame nslots in
+        ignore
+          (cspawn st ~rank:task.Task.rank ~tid ~team:(Some team)
+             ~konts:[ CKseq { code = body; pc = 0; frame = fr } ])
+      done;
+      task.Task.status <- Task.Blocked Task.At_join
+  | Compile.CSingle { nowait; body } -> (
+      match task.Task.team with
+      | None -> cpush_single_body task body frame ~team:None ~nowait:true
+      | Some team ->
+          let instance = Task.next_instance task cs.Compile.uid in
+          if Ompsim.Team.claim_single team ~construct:cs.Compile.uid ~instance
+          then cpush_single_body task body frame ~team:(Some team) ~nowait
+          else if not nowait then barrier_arrive st.core task team ~site)
+  | Compile.CMaster body -> (
+      match task.Task.team with
+      | None -> cpush_single_body task body frame ~team:None ~nowait:true
+      | Some _ ->
+          if task.Task.tid = 0 then
+            cpush_single_body task body frame ~team:None ~nowait:true)
+  | Compile.CCritical { name; nhash; body } ->
+      task.Task.konts <-
+        CKseq { code = body; pc = 0; frame }
+        :: CKcritical_end { name; nhash }
+        :: task.Task.konts;
+      critical_acquire st.core task ~name ~site
+  | Compile.CBarrier -> (
+      match task.Task.team with
+      | None -> ()
+      | Some team -> barrier_arrive st.core task team ~site)
+  | Compile.CWsfor { slot; vhash; lo; hi; nowait; reduction; kscope; body } ->
+      let l = lo ec frame in
+      let h = hi ec frame in
+      let start, stop =
+        match task.Task.team with
+        | None -> (l, h)
+        | Some team ->
+            Ompsim.Schedule.chunk ~lo:l ~hi:h ~tid:task.Task.tid
+              ~nthreads:team.Ompsim.Team.size
+      in
+      let combine_konts =
+        match reduction with
+        | None -> []
+        | Some r ->
+            let shared =
+              match r.Compile.r_shared with
+              | Compile.CRef vr -> loc_of_vref frame vr
+              | Compile.CUnbound x ->
+                  fail_eval task.Task.rank site
+                    "unbound reduction variable '%s'" x
+            in
+            frame.Compile.slots.(r.Compile.r_priv_slot) <-
+              reduction_identity r.Compile.r_op;
+            [
+              CKreduce_combine
+                {
+                  op = r.Compile.r_op;
+                  ophash = r.Compile.r_ophash;
+                  shared;
+                  private_ =
+                    { Compile.l_frame = frame; l_slot = r.Compile.r_priv_slot };
+                };
+            ]
+      in
+      task.Task.konts <-
+        (CKfor { slot; vhash; current = start; stop; scope = kscope; body; frame }
+        :: combine_konts)
+        @ CKexit_ws { team = task.Task.team; nowait } :: task.Task.konts
+  | Compile.CSections { nowait; sections } ->
+      let count = Array.length sections in
+      let mine =
+        match task.Task.team with
+        | None -> List.init count (fun i -> i)
+        | Some team ->
+            Ompsim.Schedule.sections_for ~count ~tid:task.Task.tid
+              ~nthreads:team.Ompsim.Team.size
+      in
+      let konts_for_sections =
+        List.concat_map
+          (fun i ->
+            [
+              CKenter_single;
+              CKseq { code = sections.(i); pc = 0; frame };
+              CKexit_single { team = None; nowait = true };
+            ])
+          mine
+      in
+      task.Task.konts <-
+        konts_for_sections
+        @ (CKexit_ws { team = task.Task.team; nowait } :: task.Task.konts)
+
+let cstep st (task : ctask) =
+  match task.Task.konts with
+  | [] -> finish_task st.core task
+  | k :: rest -> (
+      match k with
+      | CKseq ({ code; pc; frame } as sq) ->
+          if pc >= Array.length code.Compile.stmts then task.Task.konts <- rest
+          else begin
+            sq.pc <- pc + 1;
+            cexec_stmt st task code.Compile.stmts.(pc) frame
+          end
+      | CKwhile { cond; body; frame; _ } ->
+          if cond !(st.ectxs).(task.Task.id) frame <> 0 then
+            task.Task.konts <-
+              CKseq { code = body; pc = 0; frame } :: task.Task.konts
+          else task.Task.konts <- rest
+      | CKfor ({ slot; current; stop; body; frame; _ } as f) ->
+          if current < stop then begin
+            frame.Compile.slots.(slot) <- current;
+            f.current <- current + 1;
+            task.Task.konts <-
+              CKseq { code = body; pc = 0; frame } :: task.Task.konts
+          end
+          else task.Task.konts <- rest
+      | CKcall_return -> task.Task.konts <- rest
+      | CKenter_single ->
+          task.Task.single_depth <- task.Task.single_depth + 1;
+          task.Task.konts <- rest
+      | CKexit_single { team; nowait } -> (
+          task.Task.single_depth <- max 0 (task.Task.single_depth - 1);
+          task.Task.konts <- rest;
+          match team with
+          | Some tm when not nowait ->
+              barrier_arrive st.core task tm ~site:"<end single>"
+          | Some _ | None -> ())
+      | CKexit_ws { team; nowait } -> (
+          task.Task.konts <- rest;
+          match team with
+          | Some tm when not nowait ->
+              barrier_arrive st.core task tm ~site:"<end worksharing>"
+          | Some _ | None -> ())
+      | CKreduce_combine { op; shared; private_; _ } ->
+          Compile.write_loc shared
+            (apply_reduce_op op (Compile.read_loc shared)
+               (Compile.read_loc private_));
+          task.Task.konts <- rest
+      | CKcritical_end { name; _ } ->
+          task.Task.konts <- rest;
+          critical_release st.core task name)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = Compile.t
+
+(** Lower a validated program once; the result is immutable and safely
+    shared across domains (exploration workers). *)
+let make (program : Ast.program) : compiled = Compile.lower program
+
+(** Execute a compiled program.  Same contract and observable behaviour
+    (traces, outcomes, step counts, fingerprints) as {!run_reference} on
+    the source program.
+    @raise Invalid_argument if the entry function is missing or takes
+    parameters. *)
+let run_compiled ?(config = default_config) ?probe (prog : compiled) =
+  let entry =
+    match Compile.find prog config.entry with
+    | Some f -> f
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Sim.run: no entry function '%s'" config.entry)
+  in
+  if entry.Compile.f_nparams <> 0 then
+    invalid_arg "Sim.run: the entry function must take no parameters";
+  let degree_cap = match probe with Some p -> p.fp_depth + 1 | None -> 64 in
+  let ctasks = ref (Array.make 8 dummy_ctask) in
+  let ectxs = ref (Array.make 8 dummy_ectx) in
+  let ntasks = ref 0 in
+  let core =
+    {
+      config;
+      engine = Mpisim.Engine.create ~nranks:config.nranks;
+      mailbox = Mpisim.Mailbox.create ~nranks:config.nranks;
+      criticals = Array.init config.nranks (fun _ -> Ompsim.Critical.create ());
+      counters = Hashtbl.create 16;
+      stats = make_stats ~degree_cap;
+      find = (fun id -> !ctasks.(id));
+      set_cell = Compile.write_loc;
+      iter_tasks =
+        (fun f ->
+          for i = 0 to !ntasks - 1 do
+            f !ctasks.(i)
+          done);
+    }
+  in
+  let st = { core; ctasks; ectxs; ntasks; runnable = ref (Array.make 8 0) } in
+  for rank = 0 to config.nranks - 1 do
+    let frame = Compile.root_frame entry.Compile.f_nslots in
+    ignore
+      (cspawn st ~rank ~tid:0 ~team:None
+         ~konts:[ CKseq { code = entry.Compile.f_body; pc = 0; frame } ])
+  done;
+  let rng =
+    match config.schedule with
+    | `Random seed -> Some (Random.State.make [| seed |])
+    | `Round_robin | `Scripted _ -> None
+  in
+  let script = ref (match config.schedule with `Scripted l -> l | _ -> []) in
+  let cursor = ref 0 in
+  let pick () =
+    (* Index scan over the preallocated task array: replaces the
+       reference's List.filter + List.nth pair (quadratic per run in the
+       task count).  Selection is unchanged: the scan lists runnable
+       tasks in spawn order, and the scripted indexing keeps the
+       [((choice mod n) + n) mod n] formula, so existing seeds and
+       scripts replay identically. *)
+    let tasks = !(st.ctasks) in
+    let buf = !(st.runnable) in
+    let n = ref 0 in
+    for i = 0 to !(st.ntasks) - 1 do
+      if Task.is_runnable tasks.(i) then begin
+        buf.(!n) <- i;
+        incr n
+      end
+    done;
+    let n = !n in
+    if n = 0 then None
+    else begin
+      if core.stats.ndegrees < degree_cap then begin
+        core.stats.degrees.(core.stats.ndegrees) <- n;
+        core.stats.ndegrees <- core.stats.ndegrees + 1
+      end;
+      let idx =
+        match (rng, !script) with
+        | Some rng, _ -> Random.State.int rng n
+        | None, choice :: rest ->
+            script := rest;
+            ((choice mod n) + n) mod n
+        | None, [] ->
+            let c = !cursor mod n in
+            incr cursor;
+            c
+      in
+      Some tasks.(buf.(idx))
+    end
+  in
+  let record_fp =
+    match probe with
+    | None -> fun () -> ()
+    | Some p ->
+        p.fp_recorded <- 0;
+        fun () ->
+          if
+            core.stats.steps <= p.fp_depth && p.fp_recorded = core.stats.steps
+          then begin
+            p.fingerprints.(core.stats.steps) <- cstate_hash st;
+            p.fp_recorded <- core.stats.steps + 1
+          end
+  in
+  let outcome =
+    try
+      let rec loop () =
+        if core.stats.steps >= config.max_steps then Step_limit
+        else begin
+          record_fp ();
+          match pick () with
+          | Some task ->
+              core.stats.steps <- core.stats.steps + 1;
+              cstep st task;
+              loop ()
+          | None ->
+              let tasks = !(st.ctasks) in
+              let blocked = ref [] in
+              let finished = ref true in
+              for i = !(st.ntasks) - 1 downto 0 do
+                let t = tasks.(i) in
+                (match t.Task.status with
+                | Task.Blocked _ -> blocked := Task.describe t :: !blocked
+                | Task.Runnable | Task.Finished -> ());
+                if t.Task.status <> Task.Finished then finished := false
+              done;
+              if !finished then Finished else Deadlock !blocked
+        end
+      in
+      loop ()
+    with
+    | Abort_exn o -> o
+    | Compile.Error { rank; site; message } ->
+        Fault (Eval_error { rank; site; message })
+  in
+  { outcome; stats = core.stats; engine = core.engine }
+
+(** Execute [program] (already validated) with the compiled core:
+    [make] + {!run_compiled}.  [probe], when given, turns on the
+    exploration instrumentation: state fingerprints for the first
+    [probe_depth] steps land in the probe's preallocated buffer, and the
+    degree record is capped at the same depth.
+    @raise Invalid_argument if the entry function is missing or takes
+    parameters. *)
+let run ?config ?probe (program : Ast.program) =
+  run_compiled ?config ?probe (make program)
 
 (** Trace of [print] events in execution order. *)
 let trace (result : result) = List.rev result.stats.trace

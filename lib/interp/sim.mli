@@ -92,12 +92,35 @@ val probe_recorded : probe -> int
     run.  @raise Invalid_argument unless [0 <= k < probe_recorded]. *)
 val probe_fingerprint : probe -> int -> int
 
-(** Execute a validated program.  [probe], when given, records state
-    fingerprints for the first [probe_depth] steps and switches
-    construct ids to the probe's canonical table.
+(** A program lowered once by {!make} (see {!Compile}).  Immutable, so
+    one compiled form is safely shared across exploration worker
+    domains. *)
+type compiled = Compile.t
+
+val make : Minilang.Ast.program -> compiled
+
+(** Execute a compiled program.  [probe], when given, records state
+    fingerprints for the first [probe_depth] steps (construct ids are
+    always canonical in compiled form).
+    @raise Invalid_argument if the entry function is missing or takes
+    parameters. *)
+val run_compiled : ?config:config -> ?probe:probe -> compiled -> result
+
+(** Execute a validated program with the compiled core:
+    {!make} + {!run_compiled}.  [probe], when given, records state
+    fingerprints for the first [probe_depth] steps.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
 val run : ?config:config -> ?probe:probe -> Minilang.Ast.program -> result
+
+(** The original AST tree-walker, kept as the equivalence oracle for the
+    compiled core: same contract and observable behaviour (traces,
+    outcomes, step counts, fingerprints) as {!run}.  [probe] switches
+    construct ids to the probe's canonical table.
+    @raise Invalid_argument if the entry function is missing or takes
+    parameters. *)
+val run_reference :
+  ?config:config -> ?probe:probe -> Minilang.Ast.program -> result
 
 (** Trace of [print] events in execution order: (rank, tid, value). *)
 val trace : result -> (int * int * int) list

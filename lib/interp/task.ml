@@ -2,7 +2,14 @@
     [parallel] construct.  A task carries a continuation stack; the
     scheduler advances one task by one small step at a time, which makes
     thread interleavings (and the bugs that depend on them) schedulable and
-    reproducible. *)
+    reproducible.
+
+    The record is polymorphic in the continuation type ['k] and the
+    result-cell type ['c] so the same scheduling state (status,
+    single-nesting depth, encounter counters, team membership) is shared
+    by the two interpreter cores: the reference tree-walker instantiates
+    it at [(Task.kont, Env.cell) t] while the compiled core uses its own
+    continuation type and slot locations ([(Sim.ckont, Compile.loc) t]). *)
 
 type kont =
   | Kseq of Minilang.Ast.block * Env.t
@@ -44,17 +51,17 @@ type block_reason =
 
 type status = Runnable | Blocked of block_reason | Finished
 
-type t = {
+type ('k, 'c) t = {
   id : int;  (** Cookie used by the engine, barriers and locks. *)
   rank : int;
   tid : int;  (** Thread number in the innermost team (0 if sequential). *)
   team : Ompsim.Team.t option;
-  mutable konts : kont list;
+  mutable konts : 'k list;
   mutable status : status;
   mutable single_depth : int;
       (** Number of enclosing single-threaded bodies this task is currently
           executing as the designated thread. *)
-  mutable wait_cell : Env.cell option;
+  mutable wait_cell : 'c option;
       (** Cell to store a collective result into upon release. *)
   encounters : (int, int) Hashtbl.t;
       (** Per-construct dynamic instance counters (for [single]
@@ -80,7 +87,7 @@ let next_instance t uid =
   Hashtbl.replace t.encounters uid (n + 1);
   n
 
-let team_size t = match t.team with None -> 1 | Some tm -> tm.Ompsim.Team.size
+let team_size t = Ompsim.Team.size_of t.team
 
 let is_runnable t = t.status = Runnable
 

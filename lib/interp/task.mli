@@ -1,6 +1,14 @@
 (** Tasks: one per MPI rank, plus one per thread forked at each
     [parallel] construct.  A task carries a continuation stack; the
-    scheduler advances one task by one small step at a time. *)
+    scheduler advances one task by one small step at a time.
+
+    [('k, 'c) t] is polymorphic in the continuation type ['k] and the
+    collective result-cell type ['c]: the reference tree-walker uses
+    [(kont, Env.cell) t]; the compiled core (see {!Compile} and
+    {!Sim.run_compiled}) instantiates its own continuation and slot
+    location types.  The scheduling state (status, block reasons,
+    encounter counters) stays monomorphic so fingerprint ingredients are
+    shared verbatim by both interpreters. *)
 
 type kont =
   | Kseq of Minilang.Ast.block * Env.t
@@ -32,27 +40,32 @@ type block_reason =
 
 type status = Runnable | Blocked of block_reason | Finished
 
-type t = {
+type ('k, 'c) t = {
   id : int;  (** Cookie used by the engine, barriers and locks. *)
   rank : int;
   tid : int;
   team : Ompsim.Team.t option;
-  mutable konts : kont list;
+  mutable konts : 'k list;
   mutable status : status;
   mutable single_depth : int;
-  mutable wait_cell : Env.cell option;
+  mutable wait_cell : 'c option;
   encounters : (int, int) Hashtbl.t;
 }
 
 val make :
-  id:int -> rank:int -> tid:int -> team:Ompsim.Team.t option -> konts:kont list -> t
+  id:int ->
+  rank:int ->
+  tid:int ->
+  team:Ompsim.Team.t option ->
+  konts:'k list ->
+  ('k, 'c) t
 
 (** Next dynamic instance index of construct [uid] for this task. *)
-val next_instance : t -> int -> int
+val next_instance : ('k, 'c) t -> int -> int
 
-val team_size : t -> int
+val team_size : ('k, 'c) t -> int
 
-val is_runnable : t -> bool
+val is_runnable : ('k, 'c) t -> bool
 
 (** Hash of the scheduling status (fingerprint ingredient). *)
 val status_hash : status -> int
@@ -61,8 +74,8 @@ val status_hash : status -> int
     (fingerprint ingredient): commutative over entries, so schedules that
     filled the table in different orders but reached the same counts hash
     alike. *)
-val encounters_hash : t -> int
+val encounters_hash : ('k, 'c) t -> int
 
 val describe_block_reason : block_reason -> string
 
-val describe : t -> string
+val describe : ('k, 'c) t -> string

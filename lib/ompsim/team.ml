@@ -51,3 +51,6 @@ let claim_single team ~construct ~instance =
 let member_finished team =
   team.finished <- team.finished + 1;
   team.finished = team.size
+
+(** Team size as seen by a task: 1 outside any parallel region. *)
+let size_of = function None -> 1 | Some team -> team.size

@@ -23,3 +23,6 @@ val claim_single : t -> construct:int -> instance:int -> bool
 (** Records one member's completion; [true] when the team is done and the
     forker can resume. *)
 val member_finished : t -> bool
+
+(** Team size as seen by a task: 1 outside any parallel region. *)
+val size_of : t option -> int
