@@ -1114,6 +1114,207 @@ let scaling_section () =
        no speedup can show here — run on a multicore host to see scaling.@."
 
 (* ------------------------------------------------------------------ *)
+(* MHP-based data-race pass                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The two racy example programs double as bench subjects; resolve them
+   whether the bench runs from the repository root or from bench/. *)
+let example_path name =
+  let candidates =
+    [
+      "examples/programs/" ^ name;
+      "../examples/programs/" ^ name;
+      "../../examples/programs/" ^ name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Fmt.failwith "races: cannot locate examples/programs/%s" name
+
+let races_section () =
+  Fmt.pr "@.== MHP-based data-race pass: warnings, refinement, overhead ==@.@.";
+  let smoke = Sys.getenv_opt "BENCH_RACES_SMOKE" <> None in
+  let options =
+    { Parcoach.Driver.default_options with Parcoach.Driver.races = true }
+  in
+  let race_warning_count report =
+    List.length
+      (List.filter
+         (fun (w : Parcoach.Warning.t) ->
+           match w.Parcoach.Warning.kind with
+           | Parcoach.Warning.Data_race _ -> true
+           | _ -> false)
+         (Parcoach.Driver.all_warnings report))
+  in
+  (* Per-function race-pass counters summed over the whole program. *)
+  let race_stats report =
+    List.fold_left
+      (fun (acc, sh, cand, filt, pairs, feeds) (fr : Parcoach.Driver.func_report) ->
+        match fr.Parcoach.Driver.races with
+        | None -> (acc, sh, cand, filt, pairs, feeds)
+        | Some r ->
+            ( acc + r.Parcoach.Races.accesses,
+              sh + r.Parcoach.Races.shared_accesses,
+              cand + r.Parcoach.Races.mhp_candidates,
+              filt + r.Parcoach.Races.critical_filtered,
+              pairs + List.length r.Parcoach.Races.pairs,
+              feeds
+              + List.length
+                  (List.filter
+                     (fun (p : Parcoach.Races.pair) ->
+                       p.Parcoach.Races.feeds_collective)
+                     r.Parcoach.Races.pairs) ))
+      (0, 0, 0, 0, 0, 0) report.Parcoach.Driver.funcs
+  in
+  (* Clean benchmarks: the refinement chain must discharge everything. *)
+  Fmt.pr "%-10s | %8s | %6s | %10s | %8s | %5s | %8s@." "benchmark" "accesses"
+    "shared" "candidates" "filtered" "pairs" "warnings";
+  Fmt.pr "%s@." (String.make 72 '-');
+  let bench_rows =
+    List.map
+      (fun (e : Benchsuite.Catalog.entry) ->
+        let program = e.Benchsuite.Catalog.generate_small () in
+        let report = Parcoach.Driver.analyze ~options program in
+        let acc, sh, cand, filt, pairs, _ = race_stats report in
+        let warns = race_warning_count report in
+        Fmt.pr "%-10s | %8d | %6d | %10d | %8d | %5d | %8d@."
+          e.Benchsuite.Catalog.name acc sh cand filt pairs warns;
+        (e.Benchsuite.Catalog.name, (acc, sh, cand, filt, pairs, warns)))
+      Benchsuite.Catalog.all
+  in
+  List.iter
+    (fun (name, (_, _, _, _, _, warns)) ->
+      if warns <> 0 then
+        Fmt.failwith "races: clean benchmark %s has %d race warning(s)" name
+          warns)
+    bench_rows;
+  Fmt.pr "@.all clean benchmarks: 0 race warnings (refinement holds)@.@.";
+  (* Racy examples: static warnings plus the dynamic oracle's verdicts. *)
+  let seeds = if smoke then 2 else 5 in
+  let example_rows =
+    List.map
+      (fun name ->
+        let program = Minilang.Parser.parse_file (example_path name) in
+        let report = Parcoach.Driver.analyze ~options program in
+        let static_keys =
+          List.filter_map
+            (fun (w : Parcoach.Warning.t) ->
+              match w.Parcoach.Warning.kind with
+              | Parcoach.Warning.Data_race { var; loc1; loc2; _ } ->
+                  let s1 = Minilang.Loc.to_string loc1 in
+                  let s2 = Minilang.Loc.to_string loc2 in
+                  Some (if s1 <= s2 then (var, s1, s2) else (var, s2, s1))
+              | _ -> None)
+            (Parcoach.Driver.all_warnings report)
+        in
+        let dynamic =
+          List.concat_map
+            (fun seed ->
+              let oracle = Interp.Raceck.create () in
+              let config =
+                {
+                  Interp.Sim.default_config with
+                  nranks = 2;
+                  schedule = `Random seed;
+                }
+              in
+              let (_ : Interp.Sim.result) =
+                Interp.Sim.run ~config ~race:oracle program
+              in
+              List.map
+                (fun (r : Interp.Raceck.race) ->
+                  ( r.Interp.Raceck.rc_var,
+                    r.Interp.Raceck.rc_site1,
+                    r.Interp.Raceck.rc_site2 ))
+                (Interp.Raceck.races oracle))
+            (List.init seeds (fun i -> i))
+        in
+        let dynamic = List.sort_uniq compare dynamic in
+        let covered =
+          List.for_all (fun k -> List.mem k static_keys) dynamic
+        in
+        Fmt.pr
+          "%-20s: %d static warning(s), %d dynamic race(s) over %d seeds, \
+           dynamic covered statically: %b@."
+          name
+          (List.length static_keys)
+          (List.length dynamic) seeds covered;
+        if not covered then
+          Fmt.failwith "races: dynamic race in %s not statically reported" name;
+        (name, List.length static_keys, List.length dynamic, covered))
+      [ "racy_counter.hml"; "racy_flag.hml" ]
+  in
+  (* Overhead of the race pass over the default analysis, across the
+     whole catalog. *)
+  let programs =
+    List.map
+      (fun (e : Benchsuite.Catalog.entry) ->
+        e.Benchsuite.Catalog.generate_small ())
+      Benchsuite.Catalog.all
+  in
+  let analyze_all options () =
+    List.iter (fun p -> ignore (Parcoach.Driver.analyze ~options p)) programs
+  in
+  let quota = if smoke then 0.3 else 1.5 in
+  let rows =
+    measure ~quota
+      [
+        Test.make ~name:"races-off"
+          (Staged.stage (analyze_all Parcoach.Driver.default_options));
+        Test.make ~name:"races-on" (Staged.stage (analyze_all options));
+      ]
+  in
+  let off = find_estimate rows "races-off" in
+  let on = find_estimate rows "races-on" in
+  let overhead_pct = (on -. off) /. off *. 100. in
+  Fmt.pr "@.analysis time: %.0f ns without races, %.0f ns with (%.1f%% \
+          overhead)@."
+    off on overhead_pct;
+  let total_cand, total_filt, total_pairs =
+    List.fold_left
+      (fun (c, f, p) (_, (_, _, cand, filt, pairs, _)) ->
+        (c + cand, f + filt, p + pairs))
+      (0, 0, 0) bench_rows
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"section\": \"races\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"benchsuite\": [\n%s\n  ],\n\
+      \  \"refinement\": { \"mhp_candidates\": %d, \"critical_filtered\": %d, \
+       \"reported_pairs\": %d },\n\
+      \  \"examples\": [\n%s\n  ],\n\
+      \  \"overhead\": { \"races_off_ns\": %.0f, \"races_on_ns\": %.0f, \
+       \"percent\": %.2f }\n\
+       }\n"
+      smoke
+      (String.concat ",\n"
+         (List.map
+            (fun (name, (acc, sh, cand, filt, pairs, warns)) ->
+              Printf.sprintf
+                "    { \"name\": \"%s\", \"accesses\": %d, \
+                 \"shared_accesses\": %d, \"mhp_candidates\": %d, \
+                 \"critical_filtered\": %d, \"pairs\": %d, \"warnings\": %d }"
+                name acc sh cand filt pairs warns)
+            bench_rows))
+      total_cand total_filt total_pairs
+      (String.concat ",\n"
+         (List.map
+            (fun (name, static, dynamic, covered) ->
+              Printf.sprintf
+                "    { \"name\": \"%s\", \"static_warnings\": %d, \
+                 \"dynamic_races\": %d, \"dynamic_covered\": %b }"
+                name static dynamic covered)
+            example_rows))
+      off on overhead_pct
+  in
+  let oc = open_out "BENCH_races.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_races.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1131,6 +1332,7 @@ let sections =
     ("explore-perf", explore_perf_section);
     ("interp-perf", interp_perf_section);
     ("scaling", scaling_section);
+    ("races", races_section);
   ]
 
 let () =

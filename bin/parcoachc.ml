@@ -24,7 +24,7 @@ let read_program file bench =
       Fmt.epr "give a source file or --bench NAME@.";
       exit 2
 
-let run file bench initial_multi level taint interproc jobs json
+let run file bench initial_multi level taint interproc races jobs json
     instrument_mode output dot =
   let program = read_program file bench in
   let issues = Minilang.Validate.check_program program in
@@ -44,6 +44,7 @@ let run file bench initial_multi level taint interproc jobs json
       provided_level = level;
       taint_filter = taint;
       interprocedural = interproc;
+      races;
     }
   in
   let report = Parcoach.Driver.analyze ~options ?jobs program in
@@ -133,6 +134,15 @@ let interproc =
           "Treat calls to collective-bearing functions as pseudo-collective \
            sites in the inter-process phase.")
 
+let races =
+  Arg.(
+    value & flag
+    & info [ "races" ]
+        ~doc:
+          "Run the MHP-based shared-memory data-race pass and report \
+           conflicting accesses to shared variables that may happen in \
+           parallel.")
+
 let jobs =
   Arg.(
     value
@@ -187,9 +197,9 @@ let cmd =
     "static validation of MPI collectives in multi-threaded context"
   in
   Cmd.v
-    (Cmd.info "parcoachc" ~doc)
+    (Cmd.info "parcoachc" ~version:"0.5.0" ~doc)
     Term.(
       const run $ file $ bench $ initial_multi $ level $ taint $ interproc
-      $ jobs $ json $ instrument_mode $ output $ dot)
+      $ races $ jobs $ json $ instrument_mode $ output $ dot)
 
 let () = exit (Cmd.eval cmd)

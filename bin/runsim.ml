@@ -278,7 +278,7 @@ let interp =
 let cmd =
   let doc = "run hybrid MPI+OpenMP programs on the simulated runtime" in
   Cmd.v
-    (Cmd.info "runsim" ~doc)
+    (Cmd.info "runsim" ~version:"0.5.0" ~doc)
     Term.(
       const run $ file $ bench $ ranks $ threads $ seed $ round_robin
       $ max_steps $ instrument $ jobs $ inject $ show_trace $ must_check

@@ -383,6 +383,99 @@ let copy_propagation g =
   (unwrap in_facts, unwrap out_facts)
 
 (* ------------------------------------------------------------------ *)
+(* Per-node def/use accesses                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** One variable access performed by a node, with the source statement it
+    belongs to.  Unlike {!node_uses}/{!node_defs} this keeps the access
+    kind, the precise statement location, and covers the [for]/[omp for]
+    loop bounds and [recv] targets — the inputs the race detector needs. *)
+type du_access = {
+  du_var : string;
+  du_write : bool;
+  du_decl : bool;
+      (** A write that creates the binding (declarations, loop
+          variables): the storage is fresh, so the write itself cannot
+          race with accesses through any older binding. *)
+  du_loc : Minilang.Loc.t;
+  du_stmt : Minilang.Ast.stmt;  (** Carrying statement, for scope lookup. *)
+}
+
+(** Per-node access lists (reads in evaluation order, then writes),
+    indexed by node id. *)
+let defuse g =
+  let open Minilang.Ast in
+  let reads s e acc =
+    StringSet.fold
+      (fun x acc ->
+        { du_var = x; du_write = false; du_decl = false; du_loc = s.sloc; du_stmt = s }
+        :: acc)
+      (expr_vars StringSet.empty e)
+      acc
+  in
+  let write ?(decl = false) s x acc =
+    { du_var = x; du_write = true; du_decl = decl; du_loc = s.sloc; du_stmt = s }
+    :: acc
+  in
+  let coll_exprs coll =
+    match coll with
+    | Barrier -> []
+    | Bcast { root; value }
+    | Reduce { root; value; _ }
+    | Gather { root; value }
+    | Scatter { root; value } ->
+        [ root; value ]
+    | Allreduce { value; _ }
+    | Allgather { value }
+    | Alltoall { value }
+    | Scan { value; _ }
+    | Reduce_scatter { value; _ } ->
+        [ value ]
+  in
+  let simple_stmt acc s =
+    match s.sdesc with
+    | Decl (x, e) -> write ~decl:true s x (reads s e acc)
+    | Assign (x, e) -> write s x (reads s e acc)
+    | Compute e | Print e -> reads s e acc
+    | Send { value; dest; tag } -> reads s value (reads s dest (reads s tag acc))
+    | Recv { target; src; tag } -> write s target (reads s src (reads s tag acc))
+    | _ -> acc
+  in
+  let node_accesses id =
+    match kind g id with
+    | Entry | Exit | Return_site _ | Barrier_node _ | Check_site _ | Omp_end _
+      ->
+        []
+    | Simple stmts -> List.rev (List.fold_left simple_stmt [] stmts)
+    | Cond { expr; stmt } -> (
+        match stmt.sdesc with
+        (* Desugared counted loops: the init/increment statements the
+           builder manufactures are not part of the source AST, so their
+           accesses are surfaced here instead — the loop bounds read in
+           the enclosing scope, and the loop variable's binding-creating
+           write. *)
+        | For (x, lo, hi, _) ->
+            List.rev (write ~decl:true stmt x (reads stmt hi (reads stmt lo [])))
+        | Omp_for { var; lo; hi; _ } ->
+            List.rev
+              (write ~decl:true stmt var (reads stmt hi (reads stmt lo [])))
+        | _ -> List.rev (reads stmt expr []))
+    | Collective { target; coll; stmt } ->
+        let rds =
+          List.fold_left (fun acc e -> reads stmt e acc) [] (coll_exprs coll)
+        in
+        List.rev
+          (match target with None -> rds | Some x -> write stmt x rds)
+    | Call_site { args; stmt; _ } ->
+        List.rev (List.fold_left (fun acc e -> reads stmt e acc) [] args)
+    | Omp_begin { stmt; _ } -> (
+        match stmt.sdesc with
+        | Omp_parallel { num_threads = Some e; _ } -> List.rev (reads stmt e [])
+        | _ -> [])
+  in
+  Array.init (nb_nodes g) node_accesses
+
+(* ------------------------------------------------------------------ *)
 (* Rank taint                                                          *)
 (* ------------------------------------------------------------------ *)
 

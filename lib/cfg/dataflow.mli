@@ -76,6 +76,23 @@ module CopyMap : Map.S with type key = string
     can be replaced by [y].  Returns [(in_maps, out_maps)]. *)
 val copy_propagation : Graph.t -> string CopyMap.t array * string CopyMap.t array
 
+(** One variable access performed by a node, with its access kind, source
+    location and carrying statement.  Richer than {!node_uses}/{!node_defs}:
+    covers [for]/[omp for] loop bounds and [recv] targets, and keeps
+    per-statement granularity — the input of the static race detector. *)
+type du_access = {
+  du_var : string;
+  du_write : bool;
+  du_decl : bool;
+      (** Write that creates the binding (declarations, loop variables). *)
+  du_loc : Minilang.Loc.t;
+  du_stmt : Minilang.Ast.stmt;
+}
+
+(** Per-node def/use accesses (reads in evaluation order, then writes),
+    indexed by node id. *)
+val defuse : Graph.t -> du_access list array
+
 (** Forward taint: which variables may differ across ranks/threads?
     Sources are [rank()]/[omp_tid()]; symmetric collective results
     launder, rank-dependent ones taint; [params] are conservatively

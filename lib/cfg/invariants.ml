@@ -12,7 +12,16 @@ open Graph
       nodes exactly one;
     - every [Omp_end] names an [Omp_begin] of the same region kind;
     - regions are balanced: each tokenful begin has exactly one end;
+    - implicit [Barrier_node]s appear exactly where {!Build} promises:
+      as the unique successor of the [Omp_end] of a [parallel] region or
+      of a non-[nowait] [single]/[for]/[sections] region, and nowhere
+      else;
     - every reachable node can reach the exit. *)
+let region_has_implicit_barrier = function
+  | Rparallel -> true
+  | Rsingle { nowait } | Rfor { nowait } | Rsections { nowait } -> not nowait
+  | Rmaster | Rcritical _ | Rsection -> false
+
 let check g =
   let violations = ref [] in
   let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
@@ -54,6 +63,41 @@ let check g =
               if region_kind_name bkind <> region_kind_name kind then
                 add "omp_end %d kind mismatch with begin %d" n.id region
           | _ -> add "omp_end %d region %d is not a begin" n.id region)
+      | _ -> ());
+  (* Implicit-barrier placement: each barrier-bearing region end is
+     followed by exactly its implicit barrier, and every implicit
+     barrier sits right after such an end. *)
+  iter_nodes g (fun n ->
+      match n.kind with
+      | Omp_end { kind; _ } -> (
+          let bars =
+            List.filter
+              (fun s ->
+                match Graph.kind g s with
+                | Barrier_node { implicit = true; _ } -> true
+                | _ -> false)
+              (succs g n.id)
+          in
+          match (region_has_implicit_barrier kind, bars) with
+          | true, [ _ ] | false, [] -> ()
+          | true, _ ->
+              add "omp_end %d (%s) lacks its implicit barrier" n.id
+                (region_kind_name kind)
+          | false, _ ->
+              add "omp_end %d (%s) is followed by an implicit barrier" n.id
+                (region_kind_name kind))
+      | Barrier_node { implicit = true; _ } -> (
+          match preds g n.id with
+          | [ p ] -> (
+              match Graph.kind g p with
+              | Omp_end { kind; _ } when region_has_implicit_barrier kind -> ()
+              | _ ->
+                  add "implicit barrier %d does not follow a barrier-bearing \
+                       omp_end"
+                    n.id)
+          | ps ->
+              add "implicit barrier %d has %d predecessors" n.id
+                (List.length ps))
       | _ -> ());
   (* Region balance: one end per begin. *)
   iter_nodes g (fun n ->

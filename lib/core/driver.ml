@@ -15,6 +15,9 @@ type options = {
   interprocedural : bool;
       (** Extension: treat calls to collective-bearing functions as
           pseudo-collective sites in phase 3 (see {!Callgraph}). *)
+  races : bool;
+      (** Run the MHP-based shared-memory race pass ({!Races}) and emit
+          data-race warnings. *)
 }
 
 let default_options =
@@ -23,6 +26,7 @@ let default_options =
     provided_level = Mpisim.Thread_level.Multiple;
     taint_filter = false;
     interprocedural = false;
+    races = false;
   }
 
 type func_report = {
@@ -32,6 +36,7 @@ type func_report = {
   phase1 : Monothread.result;
   phase2 : Concurrency.result;
   phase3 : Interproc.result;
+  races : Races.result option;  (** [Some] iff [options.races]. *)
   warnings : Warning.t list;
   cc_sites : int list;  (** Collective nodes that get a [CC] check. *)
 }
@@ -57,6 +62,12 @@ let analyze_func ?graph ?call_collects options (f : Ast.func) =
     Interproc.analyze ?call_collects ~actx g
       ~taint_filter:options.taint_filter ~params:f.Ast.params
   in
+  let races = if options.races then Some (Races.analyze ~pword g f) else None in
+  let race_warnings =
+    match races with
+    | None -> []
+    | Some r -> Races.warnings g ~fname:f.Ast.fname r
+  in
   let inconsistency_warnings =
     List.map
       (fun (inc : Pword.inconsistency) ->
@@ -78,7 +89,7 @@ let analyze_func ?graph ?call_collects options (f : Ast.func) =
          ~provided:options.provided_level phase1
       @ Concurrency.warnings g ~fname:f.Ast.fname phase2
       @ Interproc.warnings g ~fname:f.Ast.fname phase3
-      @ inconsistency_warnings)
+      @ race_warnings @ inconsistency_warnings)
   in
   {
     fname = f.Ast.fname;
@@ -87,6 +98,7 @@ let analyze_func ?graph ?call_collects options (f : Ast.func) =
     phase1;
     phase2;
     phase3;
+    races;
     warnings;
     cc_sites = Interproc.cc_sites phase3;
   }

@@ -12,6 +12,9 @@ type options = {
   interprocedural : bool;
       (** Extension: treat calls to collective-bearing functions as
           pseudo-collective phase-3 sites (see {!Callgraph}). *)
+  races : bool;
+      (** Run the MHP-based shared-memory race pass ({!Races}) and emit
+          data-race warnings. *)
 }
 
 val default_options : options
@@ -23,6 +26,7 @@ type func_report = {
   phase1 : Monothread.result;
   phase2 : Concurrency.result;
   phase3 : Interproc.result;
+  races : Races.result option;  (** [Some] iff [options.races]. *)
   warnings : Warning.t list;
   cc_sites : int list;  (** Collective nodes that get a [CC] check. *)
 }

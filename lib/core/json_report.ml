@@ -82,6 +82,21 @@ let warning_json (w : Warning.t) =
           ("word_a", str (Pword.to_string word_a));
           ("word_b", str (Pword.to_string word_b));
         ]
+    | Warning.Data_race
+        { var; write1; loc1; write2; loc2; feeds_collective; advice } ->
+        let access w l =
+          obj
+            [
+              ("kind", str (if w then "write" else "read"));
+              ("loc", loc_json l);
+            ]
+        in
+        [
+          ("variable", str var);
+          ("accesses", arr [ access write1 loc1; access write2 loc2 ]);
+          ("feeds_collective", if feeds_collective then "true" else "false");
+          ("advice", str advice);
+        ]
   in
   obj (base @ extra)
 
@@ -102,6 +117,11 @@ let report_json (report : Driver.report) =
               string_of_int (List.length fr.Driver.phase1.Monothread.s_mt) );
             ( "concurrent_pairs",
               string_of_int (List.length fr.Driver.phase2.Concurrency.pairs) );
+            ( "race_pairs",
+              string_of_int
+                (match fr.Driver.races with
+                | None -> 0
+                | Some r -> List.length r.Races.pairs) );
           ])
       report.Driver.funcs
   in

@@ -1,0 +1,49 @@
+(** Static data-race detection: an MHP (may-happen-in-parallel) relation
+    over CFG nodes derived from parallelism words, barrier phases and
+    single/master/section structure (generalising {!Concurrency}'s
+    pairwise logic), combined with per-node def/use sets and the
+    shared-variable classifier {!Sharing}.  Over-approximating: the
+    differential tests check that every race the dynamic vector-clock
+    oracle observes is statically reported. *)
+
+open Minilang
+
+type access = {
+  node : int;
+  var : string;
+  decl_id : int;
+  write : bool;
+  loc : Loc.t;
+  criticals : string list;
+}
+
+type pair = {
+  pvar : string;
+  a1 : access;
+  a2 : access;  (** Ordered: [a1.loc <= a2.loc]. *)
+  feeds_collective : bool;
+      (** Relevance attribute: the variable transitively feeds a
+          collective argument or a conditional. *)
+}
+
+type result = {
+  accesses : int;
+  shared_accesses : int;
+  mhp_candidates : int;
+      (** Conflicting shared pairs at MHP nodes, before refinements. *)
+  critical_filtered : int;
+  pairs : pair list;
+}
+
+(** The word-level MHP relation for two distinct nodes.  [phase_blind]
+    disables the leading-barrier phase test (set when a node lies on a
+    cycle through a barrier, where the word fixpoint truncates trailing
+    barriers). *)
+val mhp : phase_blind:bool -> Pword.word -> Pword.word -> bool
+
+(** May two dynamic instances of the same node overlap? *)
+val self_mhp : Pword.word -> bool
+
+val analyze : pword:Pword.t -> Cfg.Graph.t -> Ast.func -> result
+
+val warnings : Cfg.Graph.t -> fname:string -> result -> Warning.t list

@@ -1,0 +1,34 @@
+(** Shared-vs-private classification of variables, replaying the compiled
+    interpreter's scope analysis on the AST: a variable is shared at a
+    statement iff its declaration lies strictly outside the statement's
+    innermost enclosing [parallel] construct.  Consumed by the static race
+    detector {!Races}. *)
+
+open Minilang
+
+module SMap : Map.S with type key = string
+
+(** One visible binding: a unique declaration id and the parallel depth it
+    was declared at. *)
+type binding = { decl_id : int; decl_pdepth : int }
+
+(** Scope facts at a statement ([bindings] = visible bindings before it). *)
+type info = {
+  pdepth : int;
+  criticals : string list;  (** Enclosing critical names, innermost first. *)
+  bindings : binding SMap.t;
+}
+
+type t
+
+val anonymous_critical : string
+
+val analyze : Ast.func -> t
+
+(** [None] for statements outside the analysed function (e.g. the CFG
+    builder's synthetic [for]-desugaring statements). *)
+val info : t -> Ast.stmt -> info option
+
+(** The shared binding of a variable at a program point, or [None] when
+    it is private or unbound there. *)
+val shared : info -> string -> binding option

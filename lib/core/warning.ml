@@ -44,6 +44,20 @@ type kind =
   | Word_inconsistency of { word_a : Pword.word; word_b : Pword.word }
       (** Join point whose incoming parallelism words disagree (barrier
           under non-uniform control flow). *)
+  | Data_race of {
+      var : string;
+      write1 : bool;
+      loc1 : Loc.t;
+      write2 : bool;
+      loc2 : Loc.t;
+      feeds_collective : bool;
+          (** The raced variable transitively feeds a collective argument
+              or a conditional. *)
+      advice : string;  (** Separating-synchronisation suggestion. *)
+    }
+      (** MHP-based race pass ({!Races}): two conflicting accesses to a
+          shared variable may happen in parallel with no interposed
+          barrier and no common critical section. *)
 
 type t = { kind : kind; func : string; loc : Loc.t }
 
@@ -54,6 +68,7 @@ let class_of = function
   | Collective_mismatch _ -> "collective mismatch"
   | Level_insufficient _ -> "insufficient thread level"
   | Word_inconsistency _ -> "parallelism word inconsistency"
+  | Data_race _ -> "data race"
 
 let pp ppf w =
   match w.kind with
@@ -91,6 +106,17 @@ let pp ppf w =
         "%a: warning: %s in function '%s': %a vs %a (barrier under \
          non-uniform control flow?)"
         Loc.pp w.loc (class_of w.kind) w.func Pword.pp word_a Pword.pp word_b
+  | Data_race { var; write1; loc1; write2; loc2; feeds_collective; advice } ->
+      let kind_str b = if b then "write" else "read" in
+      Fmt.pf ppf
+        "%a: warning: %s: conflicting accesses to shared variable '%s' in \
+         function '%s': %s at %a and %s at %a may happen in parallel%s; %s"
+        Loc.pp w.loc (class_of w.kind) var w.func (kind_str write1) Loc.pp
+        loc1 (kind_str write2) Loc.pp loc2
+        (if feeds_collective then
+           " (the value feeds a collective argument or a conditional)"
+         else "")
+        advice
 
 let to_string w = Fmt.str "%a" pp w
 

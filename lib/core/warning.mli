@@ -27,6 +27,17 @@ type kind =
       provided : Mpisim.Thread_level.t;
     }
   | Word_inconsistency of { word_a : Pword.word; word_b : Pword.word }
+  | Data_race of {
+      var : string;
+      write1 : bool;
+      loc1 : Minilang.Loc.t;
+      write2 : bool;
+      loc2 : Minilang.Loc.t;
+      feeds_collective : bool;
+      advice : string;
+    }
+      (** MHP-based race pass: conflicting accesses to a shared variable
+          with no interposed barrier and no common critical section. *)
 
 type t = { kind : kind; func : string; loc : Minilang.Loc.t }
 

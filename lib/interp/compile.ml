@@ -48,13 +48,14 @@ end)
 (** A frame is one level of mutable variable storage.  [up] points at the
     lexically enclosing frame (the forker's frame, for a team member);
     root frames (function activations) point at a dummy. *)
-type frame = { slots : int array; up : frame }
+type frame = { slots : int array; up : frame; mutable fid : int }
 
-let rec dummy_frame = { slots = [||]; up = dummy_frame }
+let rec dummy_frame = { slots = [||]; up = dummy_frame; fid = -1 }
 
-let root_frame nslots = { slots = Array.make nslots 0; up = dummy_frame }
+let root_frame nslots = { slots = Array.make nslots 0; up = dummy_frame; fid = -1 }
 
-let child_frame ~parent nslots = { slots = Array.make nslots 0; up = parent }
+let child_frame ~parent nslots =
+  { slots = Array.make nslots 0; up = parent; fid = -1 }
 
 let rec up fr n = if n <= 0 then fr else up fr.up (n - 1)
 
@@ -99,6 +100,14 @@ type scope_entry = { se_nhash : int; se_hops : int; se_slot : int }
 
 type scope = scope_entry array
 
+(** A resolved variable access a statement performs, kept alongside the
+    compiled closures for the dynamic race oracle ({!Raceck}): the
+    closures cannot be introspected, so the lowering records, per
+    statement, which frame slots its expressions read and which slot its
+    effect writes.  [a_hops]/[a_slot] are relative to the frame the
+    statement executes against. *)
+type access = { a_name : string; a_hops : int; a_slot : int; a_write : bool }
+
 (* ------------------------------------------------------------------ *)
 (* Compiled program form                                               *)
 (* ------------------------------------------------------------------ *)
@@ -107,7 +116,7 @@ type scope = scope_entry array
    [block_hash ids []]. *)
 let empty_suffix_hash = 0x27d4eb2f
 
-type cstmt = { uid : int; site : string; desc : cdesc }
+type cstmt = { uid : int; site : string; acc : access array; desc : cdesc }
 
 and cblock = {
   stmts : cstmt array;
@@ -128,7 +137,16 @@ and cdesc =
       (** Evaluate the value, then fail — the reference evaluates before
           the unbound check. *)
   | CIf of exprc * cblock * cblock
-  | CWhile of { cond : exprc; chash : int; scope : scope; body : cblock }
+  | CWhile of {
+      cond : exprc;
+      chash : int;
+      scope : scope;
+      cacc : access array;
+          (** Reads of the condition, re-recorded at every loop-back
+              re-evaluation (the statement's own [acc] covers the first
+              evaluation). *)
+      body : cblock;
+    }
       (** [chash] pre-hashes the AST condition (fingerprint parity with
           the reference's [Hashtbl.hash c]). *)
   | CFor of {
@@ -373,6 +391,54 @@ let compile_coll cenv ~site (c : Ast.collective) : ccoll =
       mk Mpisim.Coll.Reduce_scatter ~op:(op_of_ast op) (ev value)
 
 (* ------------------------------------------------------------------ *)
+(* Access descriptors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Slot reads of an expression, in evaluation order.  Unbound variables
+   are omitted: evaluation faults before any storage access happens.
+   Accesses the oracle provably cannot race on are omitted at their
+   construction sites instead (declaration writes, loop-variable writes,
+   reduction private/combine writes, callee parameter writes): each
+   targets storage no concurrently-running task can resolve, or is
+   synchronised by the construct itself. *)
+let rec expr_reads cenv acc (e : Ast.expr) =
+  match e with
+  | Ast.Var x -> (
+      match find_var cenv x with
+      | Some { v_hops; v_slot } ->
+          { a_name = x; a_hops = v_hops; a_slot = v_slot; a_write = false }
+          :: acc
+      | None -> acc)
+  | Ast.Unop (_, e) -> expr_reads cenv acc e
+  | Ast.Binop (_, a, b) -> expr_reads cenv (expr_reads cenv acc a) b
+  | Ast.Int _ | Ast.Bool _ | Ast.Rank | Ast.Size | Ast.Tid | Ast.Nthreads ->
+      acc
+
+let reads_of cenv es =
+  List.rev (List.fold_left (expr_reads cenv) [] es)
+
+let write_of cenv x =
+  match find_var cenv x with
+  | Some { v_hops; v_slot } ->
+      [ { a_name = x; a_hops = v_hops; a_slot = v_slot; a_write = true } ]
+  | None -> []
+
+let coll_access_exprs (c : Ast.collective) =
+  match c with
+  | Ast.Barrier -> []
+  | Ast.Bcast { root; value }
+  | Ast.Reduce { root; value; _ }
+  | Ast.Gather { root; value }
+  | Ast.Scatter { root; value } ->
+      [ value; root ]
+  | Ast.Allreduce { value; _ }
+  | Ast.Allgather { value }
+  | Ast.Alltoall { value }
+  | Ast.Scan { value; _ }
+  | Ast.Reduce_scatter { value; _ } ->
+      [ value ]
+
+(* ------------------------------------------------------------------ *)
 (* Statement compilation                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -396,7 +462,7 @@ let uid_of ctx (s : Ast.stmt) =
       Stmt_tbl.replace ctx.uids s u;
       u
 
-let dummy_cstmt = { uid = -1; site = "<dummy>"; desc = CBarrier }
+let dummy_cstmt = { uid = -1; site = "<dummy>"; acc = [||]; desc = CBarrier }
 
 let empty_cblock =
   { stmts = [||]; bhash = [| empty_suffix_hash |]; scopes = [| [||] |] }
@@ -405,40 +471,46 @@ let rec compile_stmt ctx cenv (s : Ast.stmt) : cstmt * cenv =
   let uid = uid_of ctx s in
   let site = Loc.to_string s.Ast.sloc in
   let ev e = compile_expr cenv ~site e in
-  let ret desc = ({ uid; site; desc }, cenv) in
+  let racc ?(w = []) es = Array.of_list (reads_of cenv es @ w) in
+  let ret ?(acc = [||]) desc = ({ uid; site; acc; desc }, cenv) in
   match s.Ast.sdesc with
   | Ast.Decl (x, e) ->
       let value = ev e in
+      let acc = racc [ e ] in
       let slot = alloc cenv in
-      ({ uid; site; desc = CDecl (slot, value) }, declare cenv x slot)
+      ({ uid; site; acc; desc = CDecl (slot, value) }, declare cenv x slot)
   | Ast.Assign (x, e) -> (
       let value = ev e in
+      let acc = racc ~w:(write_of cenv x) [ e ] in
       match find_var cenv x with
-      | Some vr -> ret (CAssign (vr, value))
-      | None -> ret (CAssign_unbound (x, value)))
+      | Some vr -> ret ~acc (CAssign (vr, value))
+      | None -> ret ~acc (CAssign_unbound (x, value)))
   | Ast.If (c, bt, bf) ->
       let cond = ev c in
       let bt = compile_block ctx cenv bt in
       let bf = compile_block ctx cenv bf in
-      ret (CIf (cond, bt, bf))
+      ret ~acc:(racc [ c ]) (CIf (cond, bt, bf))
   | Ast.While (c, body) ->
       (* The reference evaluates loop conditions at site "<while>". *)
       let cond = compile_expr cenv ~site:"<while>" c in
-      ret
+      let cacc = racc [ c ] in
+      ret ~acc:cacc
         (CWhile
            {
              cond;
              chash = Hashtbl.hash c;
              scope = scope_of cenv;
+             cacc;
              body = compile_block ctx cenv body;
            })
   | Ast.For (x, lo, hi, body) ->
+      let acc = racc [ lo; hi ] in
       let lo = ev lo in
       let hi = ev hi in
       let scope = scope_of cenv in
       let slot = alloc cenv in
       let body = compile_block ctx (declare cenv x slot) body in
-      ret (CFor { slot; vhash = Hashtbl.hash x; lo; hi; scope; body })
+      ret ~acc (CFor { slot; vhash = Hashtbl.hash x; lo; hi; scope; body })
   | Ast.Return -> ret CReturn
   | Ast.Call (fname, args) -> (
       match ctx.resolve fname with
@@ -449,12 +521,14 @@ let rec compile_stmt ctx cenv (s : Ast.stmt) : cstmt * cenv =
             ret
               (CCall_error (Printf.sprintf "arity mismatch calling '%s'" fname))
           else
-            ret
+            ret ~acc:(racc args)
               (CCall { target; args = Array.of_list (List.map ev args) }))
-  | Ast.Compute e -> ret (CCompute (ev e))
-  | Ast.Print e -> ret (CPrint (ev e))
+  | Ast.Compute e -> ret ~acc:(racc [ e ]) (CCompute (ev e))
+  | Ast.Print e -> ret ~acc:(racc [ e ]) (CPrint (ev e))
   | Ast.Coll (target, c) ->
+      let w = match target with None -> [] | Some x -> write_of cenv x in
       ret
+        ~acc:(racc ~w (coll_access_exprs c))
         (CColl
            {
              target = Option.map (cell_of cenv) target;
@@ -476,16 +550,23 @@ let rec compile_stmt ctx cenv (s : Ast.stmt) : cstmt * cenv =
            | Ast.Count_enter { region } -> KCount_enter region
            | Ast.Count_exit { region } -> KCount_exit region))
   | Ast.Send { value; dest; tag } ->
-      ret (CSend { value = ev value; dest = ev dest; tag = ev tag })
+      ret
+        ~acc:(racc [ value; dest; tag ])
+        (CSend { value = ev value; dest = ev dest; tag = ev tag })
   | Ast.Recv { target; src; tag } ->
-      ret (CRecv { target = cell_of cenv target; src = ev src; tag = ev tag })
+      ret
+        ~acc:(racc ~w:(write_of cenv target) [ src; tag ])
+        (CRecv { target = cell_of cenv target; src = ev src; tag = ev tag })
   | Ast.Omp_parallel { num_threads; body } ->
+      let acc =
+        match num_threads with None -> [||] | Some e -> racc [ e ]
+      in
       let num_threads = Option.map ev num_threads in
       (* Team members get a private child frame: outer bindings stay
          visible (shared) one hop up; body declarations are private. *)
       let counter = ref 0 in
       let body = compile_block ctx { cenv with level = cenv.level + 1; counter } body in
-      ret (CPar { num_threads; nslots = !counter; body })
+      ret ~acc (CPar { num_threads; nslots = !counter; body })
   | Ast.Omp_single { nowait; body } ->
       ret (CSingle { nowait; body = compile_block ctx cenv body })
   | Ast.Omp_master body -> ret (CMaster (compile_block ctx cenv body))
@@ -500,6 +581,7 @@ let rec compile_stmt ctx cenv (s : Ast.stmt) : cstmt * cenv =
            })
   | Ast.Omp_barrier -> ret CBarrier
   | Ast.Omp_for { var; lo; hi; nowait; reduction; body } ->
+      let acc = racc [ lo; hi ] in
       let lo = ev lo in
       let hi = ev hi in
       let reduction, cenv_in =
@@ -520,7 +602,7 @@ let rec compile_stmt ctx cenv (s : Ast.stmt) : cstmt * cenv =
       let kscope = scope_of cenv_in in
       let slot = alloc cenv in
       let body = compile_block ctx (declare cenv_in var slot) body in
-      ret
+      ret ~acc
         (CWsfor
            { slot; vhash = Hashtbl.hash var; lo; hi; nowait; reduction; kscope; body })
   | Ast.Omp_sections { nowait; sections } ->

@@ -12,8 +12,10 @@
     core". *)
 
 (** One level of mutable variable storage; [up] is the lexically enclosing
-    frame (root frames point at a dummy). *)
-type frame = { slots : int array; up : frame }
+    frame (root frames point at a dummy).  [fid] is a lazily-assigned
+    per-run frame identity used by the dynamic race oracle ({!Raceck}) to
+    key storage locations; [-1] until the oracle first sees the frame. *)
+type frame = { slots : int array; up : frame; mutable fid : int }
 
 val root_frame : int -> frame
 
@@ -50,7 +52,15 @@ type scope_entry = { se_nhash : int; se_hops : int; se_slot : int }
 
 type scope = scope_entry array
 
-type cstmt = { uid : int; site : string; desc : cdesc }
+(** A resolved variable access a statement performs (reads in evaluation
+    order, then writes), recorded for the dynamic race oracle:
+    [a_hops]/[a_slot] locate the storage relative to the frame the
+    statement executes against.  Accesses that provably cannot race are
+    omitted at lowering time (declaration writes, loop-variable writes,
+    reduction private/combine writes, callee parameter writes). *)
+type access = { a_name : string; a_hops : int; a_slot : int; a_write : bool }
+
+type cstmt = { uid : int; site : string; acc : access array; desc : cdesc }
 
 and cblock = {
   stmts : cstmt array;
@@ -63,7 +73,13 @@ and cdesc =
   | CAssign of vref * exprc
   | CAssign_unbound of string * exprc
   | CIf of exprc * cblock * cblock
-  | CWhile of { cond : exprc; chash : int; scope : scope; body : cblock }
+  | CWhile of {
+      cond : exprc;
+      chash : int;
+      scope : scope;
+      cacc : access array;  (** Condition reads, re-recorded per loop-back. *)
+      body : cblock;
+    }
   | CFor of {
       slot : int;
       vhash : int;

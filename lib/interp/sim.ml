@@ -197,6 +197,9 @@ type ('k, 'c) core = {
   find : int -> ('k, 'c) Task.t;  (** Task by engine cookie. *)
   set_cell : 'c -> int -> unit;  (** Deliver a result into a cell. *)
   iter_tasks : (('k, 'c) Task.t -> unit) -> unit;  (** In spawn order. *)
+  race : Raceck.t option;
+      (** Dynamic race oracle; fed the synchronisation the runtime
+          executes (and, in the compiled core only, slot accesses). *)
 }
 
 let fail_eval rank site fmt =
@@ -280,6 +283,9 @@ let barrier_arrive (co : _ core) task (team : Ompsim.Team.t) ~site =
   | Ompsim.Barrier.Wait ->
       task.Task.status <- Task.Blocked (Task.At_barrier { site })
   | Ompsim.Barrier.Release cookies ->
+      (match co.race with
+      | Some r -> Raceck.barrier r (task.Task.id :: cookies)
+      | None -> ());
       List.iter (fun c -> (co.find c).Task.status <- Task.Runnable) cookies
 
 (* The instrumentation checks (the paper's CC agreement and concurrency
@@ -366,23 +372,41 @@ let critical_acquire (co : _ core) task ~name ~site =
     Ompsim.Critical.acquire co.criticals.(task.Task.rank) ~name
       ~cookie:task.Task.id
   with
-  | Ompsim.Critical.Acquired -> ()
+  | Ompsim.Critical.Acquired -> (
+      match co.race with
+      | Some r ->
+          Raceck.acquire r ~task:task.Task.id ~rank:task.Task.rank ~name
+      | None -> ())
   | Ompsim.Critical.Must_wait ->
       task.Task.status <- Task.Blocked (Task.At_critical { name; site })
 
 let critical_release (co : _ core) task name =
+  (match co.race with
+  | Some r -> Raceck.release r ~task:task.Task.id ~rank:task.Task.rank ~name
+  | None -> ());
   match
     Ompsim.Critical.release co.criticals.(task.Task.rank) ~name
       ~cookie:task.Task.id
   with
   | None -> ()
-  | Some next -> (co.find next).Task.status <- Task.Runnable
+  | Some next ->
+      (* Lock handoff: the released waiter holds the critical section. *)
+      (match co.race with
+      | Some r -> Raceck.acquire r ~task:next ~rank:task.Task.rank ~name
+      | None -> ());
+      (co.find next).Task.status <- Task.Runnable
 
 let finish_task (co : _ core) task =
   task.Task.status <- Task.Finished;
   match task.Task.team with
   | None -> ()
   | Some team ->
+      (* The forker joins every member; it stays blocked (so performs no
+         accesses) until the last member has contributed its clock. *)
+      (match co.race with
+      | Some r ->
+          Raceck.join r ~parent:team.Ompsim.Team.forker ~child:task.Task.id
+      | None -> ());
       if Ompsim.Team.member_finished team then begin
         let forker = co.find team.Ompsim.Team.forker in
         forker.Task.status <- Task.Runnable
@@ -993,6 +1017,7 @@ let run_reference ?(config = default_config) ?probe (program : Ast.program) =
       find = (fun id -> Hashtbl.find task_tbl id);
       set_cell = (fun c v -> c := v);
       iter_tasks = (fun f -> List.iter f !tasks);
+      race = None;
     }
   in
   let st =
@@ -1101,6 +1126,8 @@ type ckont =
       cond : Compile.exprc;
       chash : int;
       scope : Compile.scope;
+      cacc : Compile.access array;
+      wsite : string;  (** The while statement's source site. *)
       body : Compile.cblock;
       frame : Compile.frame;
     }
@@ -1233,9 +1260,21 @@ let cpush_single_body (task : ctask) body frame ~team ~nowait =
     :: CKexit_single { team; nowait }
     :: task.Task.konts
 
+(* Feed the recorded slot accesses of one executed statement (or one
+   loop-back condition re-evaluation) to the race oracle. *)
+let crecord_accesses st (task : ctask) ~site ~frame acc =
+  match st.core.race with
+  | None -> ()
+  | Some r ->
+      Array.iter
+        (Raceck.access r ~task:task.Task.id ~rank:task.Task.rank ~site ~frame)
+        acc
+
 let cexec_stmt st (task : ctask) (cs : Compile.cstmt) frame =
   let ec = !(st.ectxs).(task.Task.id) in
   let site = cs.Compile.site in
+  if Array.length cs.Compile.acc > 0 then
+    crecord_accesses st task ~site ~frame cs.Compile.acc;
   match cs.Compile.desc with
   | Compile.CDecl (slot, value) ->
       frame.Compile.slots.(slot) <- value ec frame
@@ -1249,9 +1288,10 @@ let cexec_stmt st (task : ctask) (cs : Compile.cstmt) frame =
   | Compile.CIf (cond, bt, bf) ->
       let branch = if cond ec frame <> 0 then bt else bf in
       task.Task.konts <- CKseq { code = branch; pc = 0; frame } :: task.Task.konts
-  | Compile.CWhile { cond; chash; scope; body } ->
+  | Compile.CWhile { cond; chash; scope; cacc; body } ->
       task.Task.konts <-
-        CKwhile { cond; chash; scope; body; frame } :: task.Task.konts
+        CKwhile { cond; chash; scope; cacc; wsite = site; body; frame }
+        :: task.Task.konts
   | Compile.CFor { slot; vhash; lo; hi; scope; body } ->
       let l = lo ec frame in
       let h = hi ec frame in
@@ -1344,9 +1384,13 @@ let cexec_stmt st (task : ctask) (cs : Compile.cstmt) frame =
       in
       for tid = 0 to n - 1 do
         let fr = Compile.child_frame ~parent:frame nslots in
-        ignore
-          (cspawn st ~rank:task.Task.rank ~tid ~team:(Some team)
-             ~konts:[ CKseq { code = body; pc = 0; frame = fr } ])
+        let child =
+          cspawn st ~rank:task.Task.rank ~tid ~team:(Some team)
+            ~konts:[ CKseq { code = body; pc = 0; frame = fr } ]
+        in
+        match st.core.race with
+        | Some r -> Raceck.fork r ~parent:task.Task.id ~child:child.Task.id
+        | None -> ()
       done;
       task.Task.status <- Task.Blocked Task.At_join
   | Compile.CSingle { nowait; body } -> (
@@ -1445,7 +1489,9 @@ let cstep st (task : ctask) =
             sq.pc <- pc + 1;
             cexec_stmt st task code.Compile.stmts.(pc) frame
           end
-      | CKwhile { cond; body; frame; _ } ->
+      | CKwhile { cond; cacc; wsite; body; frame; _ } ->
+          if Array.length cacc > 0 then
+            crecord_accesses st task ~site:wsite ~frame cacc;
           if cond !(st.ectxs).(task.Task.id) frame <> 0 then
             task.Task.konts <-
               CKseq { code = body; pc = 0; frame } :: task.Task.konts
@@ -1499,7 +1545,7 @@ let make (program : Ast.program) : compiled = Compile.lower program
     the source program.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-let run_compiled ?(config = default_config) ?probe (prog : compiled) =
+let run_compiled ?(config = default_config) ?probe ?race (prog : compiled) =
   let entry =
     match Compile.find prog config.entry with
     | Some f -> f
@@ -1528,6 +1574,7 @@ let run_compiled ?(config = default_config) ?probe (prog : compiled) =
           for i = 0 to !ntasks - 1 do
             f !ctasks.(i)
           done);
+      race;
     }
   in
   let st = { core; ctasks; ectxs; ntasks; runnable = ref (Array.make 8 0) } in
@@ -1634,8 +1681,8 @@ let run_compiled ?(config = default_config) ?probe (prog : compiled) =
     degree record is capped at the same depth.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-let run ?config ?probe (program : Ast.program) =
-  run_compiled ?config ?probe (make program)
+let run ?config ?probe ?race (program : Ast.program) =
+  run_compiled ?config ?probe ?race (make program)
 
 (** Trace of [print] events in execution order. *)
 let trace (result : result) = List.rev result.stats.trace

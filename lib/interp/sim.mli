@@ -101,17 +101,23 @@ val make : Minilang.Ast.program -> compiled
 
 (** Execute a compiled program.  [probe], when given, records state
     fingerprints for the first [probe_depth] steps (construct ids are
-    always canonical in compiled form).
+    always canonical in compiled form).  [race], when given, feeds every
+    slot access and synchronisation event of the run to the dynamic race
+    oracle ({!Raceck}); query it with {!Raceck.races} afterwards.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-val run_compiled : ?config:config -> ?probe:probe -> compiled -> result
+val run_compiled :
+  ?config:config -> ?probe:probe -> ?race:Raceck.t -> compiled -> result
 
 (** Execute a validated program with the compiled core:
     {!make} + {!run_compiled}.  [probe], when given, records state
-    fingerprints for the first [probe_depth] steps.
+    fingerprints for the first [probe_depth] steps; [race] attaches the
+    dynamic race oracle.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-val run : ?config:config -> ?probe:probe -> Minilang.Ast.program -> result
+val run :
+  ?config:config -> ?probe:probe -> ?race:Raceck.t ->
+  Minilang.Ast.program -> result
 
 (** The original AST tree-walker, kept as the equivalence oracle for the
     compiled core: same contract and observable behaviour (traces,

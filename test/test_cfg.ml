@@ -462,6 +462,75 @@ let invariant_tests =
                   [] (Invariants.check g))
               (Build.of_program (e.Benchsuite.Catalog.generate_small ())))
           Benchsuite.Catalog.all);
+    Alcotest.test_case "implicit barriers sit exactly after promised ends"
+      `Quick (fun () ->
+        let g =
+          cfg_of
+            {|func main() { pragma omp parallel {
+               pragma omp single nowait { compute(1); }
+               pragma omp single { compute(2); }
+               pragma omp master { compute(3); }
+               pragma omp critical { compute(4); }
+               pragma omp for i = 0 to 4 nowait { compute(i); }
+               pragma omp for i = 0 to 4 { compute(i); } } }|}
+        in
+        Alcotest.(check (list string)) "well-formed" [] (Invariants.check g);
+        (* Implicit barriers: parallel + single + for = 3 (the
+           nowait/master/critical regions contribute none), each right
+           after the end of the region that promises it. *)
+        let implicit =
+          Graph.filter_nodes g (function
+            | Graph.Barrier_node { implicit = true; _ } -> true
+            | _ -> false)
+        in
+        Alcotest.(check int) "three implicit barriers" 3 (List.length implicit);
+        let pred_kinds =
+          List.sort compare
+            (List.map
+               (fun id ->
+                 match Graph.preds g id with
+                 | [ p ] -> (
+                     match Graph.kind g p with
+                     | Graph.Omp_end { kind; _ } -> Graph.region_kind_name kind
+                     | _ -> "<not an end>")
+                 | _ -> "<multiple preds>")
+               implicit)
+        in
+        Alcotest.(check (list string)) "each after its region end"
+          (List.sort compare [ "parallel"; "single"; "for" ])
+          pred_kinds);
+    Alcotest.test_case "misplaced implicit barrier is reported" `Quick
+      (fun () ->
+        (* Hand-build a graph where an implicit barrier follows a master
+           end: entry -> begin(master) -> end -> barrier(implicit) -> exit. *)
+        let open Minilang in
+        let contains_sub hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        let g = Graph.create "bad" in
+        let stmt = Ast.mk (Ast.Omp_master []) in
+        let b = Graph.add_node g (Graph.Omp_begin { kind = Graph.Rmaster; stmt }) in
+        let e =
+          Graph.add_node g
+            (Graph.Omp_end { kind = Graph.Rmaster; region = b; stmt })
+        in
+        let bar =
+          Graph.add_node g
+            (Graph.Barrier_node { implicit = true; loc = Loc.none })
+        in
+        Graph.add_edge g g.Graph.entry b;
+        Graph.add_edge g b e;
+        Graph.add_edge g e bar;
+        Graph.add_edge g bar g.Graph.exit;
+        let vs = Invariants.check g in
+        Alcotest.(check bool) "violation reported" true
+          (List.exists
+             (fun v ->
+               contains_sub v "implicit barrier"
+               || contains_sub v "followed by an implicit barrier")
+             vs));
   ]
 
 let suite =

@@ -184,10 +184,55 @@ let qcheck_tests =
                d.Overlay.position >= 0 && d.Overlay.position < max_len));
   ]
 
+let edge_tests =
+  [
+    Alcotest.test_case "fanout larger than nranks degenerates to one layer"
+      `Quick (fun () ->
+        let t = Overlay.build_tree ~fanout:8 ~nranks:3 in
+        Alcotest.(check int) "depth" 1 (Overlay.depth t);
+        Alcotest.(check int) "fan-in" 3 (Overlay.max_fan_in t);
+        (* One message per leaf per round. *)
+        let trace = [ barrier "a"; barrier "b" ] in
+        let r = Overlay.check ~fanout:8 (Array.make 3 trace) in
+        Alcotest.(check bool) "match" true (Overlay.is_match r);
+        Alcotest.(check int) "messages" 6 r.Overlay.messages);
+    Alcotest.test_case "single rank: one-node layer, trivially consistent"
+      `Quick (fun () ->
+        let t = Overlay.build_tree ~fanout:2 ~nranks:1 in
+        Alcotest.(check int) "one layer" 1 (Array.length t.Overlay.layers);
+        Alcotest.(check int) "self-rooted" 0 t.Overlay.layers.(0).(0);
+        Alcotest.(check int) "fan-in" 1 (Overlay.max_fan_in t);
+        let r = Overlay.check ~fanout:2 [| [ barrier "a"; allreduce "b" ] |] in
+        (match r.Overlay.verdict with
+        | `Match n -> Alcotest.(check int) "two rounds" 2 n
+        | `Divergence _ -> Alcotest.fail "single rank cannot diverge");
+        let empty = Overlay.check ~fanout:2 [| [] |] in
+        match empty.Overlay.verdict with
+        | `Match n -> Alcotest.(check int) "zero rounds" 0 n
+        | `Divergence _ -> Alcotest.fail "empty stream cannot diverge");
+    Alcotest.test_case "early-ended subtree is localized above the leaves"
+      `Quick (fun () ->
+        (* Ranks 0-3 run two rounds, ranks 4-7 stop after one: every
+           layer-0/1 comparison is unanimous, so the "<no event>" group
+           only meets the live group at the root (layer 2). *)
+        let long = [ barrier "a"; allreduce "b" ] in
+        let short = [ barrier "a" ] in
+        let traces = Array.init 8 (fun r -> if r < 4 then long else short) in
+        let r = Overlay.check ~fanout:2 traces in
+        match r.Overlay.verdict with
+        | `Divergence d ->
+            Alcotest.(check int) "position" 1 d.Overlay.position;
+            Alcotest.(check int) "detected at the root layer" 2 d.Overlay.layer;
+            Alcotest.(check (list int)) "early ranks grouped" [ 4; 5; 6; 7 ]
+              (List.assoc "<no event>" d.Overlay.groups)
+        | `Match _ -> Alcotest.fail "expected divergence");
+  ]
+
 let suite =
   [
     ("mustlike.tree", tree_tests);
     ("mustlike.check", check_tests);
+    ("mustlike.edge", edge_tests);
     ("mustlike.engine", engine_tests);
     ("mustlike.qcheck", qcheck_tests);
   ]
