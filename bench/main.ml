@@ -1315,6 +1315,165 @@ let races_section () =
   Fmt.pr "@.wrote BENCH_races.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Dynamic partial-order reduction: replays vs BFS vs reference        *)
+(* ------------------------------------------------------------------ *)
+
+(* Schedule-space reduction of the DPOR explorer.  The correctness gate
+   runs first: on every reproducer the DPOR class set must cover the
+   brute-force reference's (one representative per Mazurkiewicz trace
+   changes per-class counts, never reachability within its window), and
+   on the deep racy-ring showcase DPOR must replay at least 10x fewer
+   schedules than the fingerprint-pruned BFS at the same budget while
+   still covering the classes BFS reaches. *)
+let dpor_section () =
+  Fmt.pr "@.== Dynamic partial-order reduction: replays vs BFS ==@.@.";
+  let smoke = Sys.getenv_opt "BENCH_DPOR_SMOKE" <> None in
+  let rounds = if smoke then 3 else 9 in
+  let config nranks =
+    {
+      Interp.Sim.nranks;
+      default_nthreads = 2;
+      schedule = `Round_robin;
+      max_steps = 200_000;
+      entry = "main";
+      record_trace = false;
+      thread_level = Mpisim.Thread_level.Multiple;
+    }
+  in
+  let classes (s : Interp.Explore.summary) =
+    List.sort compare (List.map fst s.Interp.Explore.witnesses)
+  in
+  let covers a b = List.for_all (fun c -> List.mem c b) a in
+  let check_invariant name (s : Interp.Explore.summary) =
+    if s.Interp.Explore.runs <> s.Interp.Explore.replays + s.Interp.Explore.pruned
+    then Fmt.failwith "dpor: %s: runs <> replays + pruned" name
+  in
+  (* Gate 1: class coverage vs the reference on every reproducer. *)
+  let coverage_rows =
+    List.map
+      (fun (e : Benchsuite.Reproducers.entry) ->
+        let program = Benchsuite.Reproducers.program e in
+        let name = e.Benchsuite.Reproducers.name in
+        let reference =
+          Interp.Explore.outcomes_reference ~branch_depth:8 ~budget:200_000
+            ~config:(config 2) program
+        in
+        let dpor =
+          Interp.Explore.outcomes_dpor ~branch_depth:8 ~budget:200_000
+            ~config:(config 2) program
+        in
+        check_invariant name dpor;
+        if not (covers (classes reference) (classes dpor)) then
+          Fmt.failwith "dpor: %s: misses a reference outcome class" name;
+        ( name,
+          reference.Interp.Explore.replays,
+          dpor.Interp.Explore.replays,
+          classes dpor ))
+      Benchsuite.Reproducers.all
+  in
+  Fmt.pr
+    "coverage gate: DPOR covers the reference classes on every reproducer \
+     (depth 8)@.@.";
+  (* Gate 2 + timing: the racy-ring showcase at equal budgets. *)
+  let ring = Benchsuite.Reproducers.load "racy-ring" in
+  let budget = 2000 in
+  let depths = if smoke then [ 16 ] else [ 16; 20 ] in
+  let timed f =
+    let samples =
+      Array.init rounds (fun _ ->
+          Gc.minor ();
+          let t0 = Unix.gettimeofday () in
+          ignore (f ());
+          Unix.gettimeofday () -. t0)
+    in
+    median samples
+  in
+  Fmt.pr "%-20s | %8s | %8s | %9s | %10s | %10s@." "racy-ring" "dpor"
+    "bfs" "reduction" "dpor ms" "bfs ms";
+  Fmt.pr "%s@." (String.make 78 '-');
+  let ring_rows =
+    List.map
+      (fun depth ->
+        let dpor () =
+          Interp.Explore.outcomes_dpor ~branch_depth:depth ~budget
+            ~config:(config 2) ring
+        in
+        let bfs () =
+          Interp.Explore.outcomes ~branch_depth:depth ~budget
+            ~config:(config 2) ring
+        in
+        let d = dpor () and b = bfs () in
+        check_invariant (Printf.sprintf "racy-ring depth %d" depth) d;
+        if not (covers (classes b) (classes d)) then
+          Fmt.failwith "dpor: racy-ring depth %d: misses a BFS class" depth;
+        if d.Interp.Explore.replays * 10 > b.Interp.Explore.replays then
+          Fmt.failwith
+            "dpor: racy-ring depth %d: only %dx replay reduction (dpor %d, \
+             bfs %d)"
+            depth
+            (b.Interp.Explore.replays / max 1 d.Interp.Explore.replays)
+            d.Interp.Explore.replays b.Interp.Explore.replays;
+        let t_d = timed dpor and t_b = timed bfs in
+        let reduction =
+          float_of_int b.Interp.Explore.replays
+          /. float_of_int (max 1 d.Interp.Explore.replays)
+        in
+        Fmt.pr "%-20s | %8d | %8d | %8.1fx | %10.2f | %10.2f@."
+          (Printf.sprintf "depth %d" depth)
+          d.Interp.Explore.replays b.Interp.Explore.replays reduction
+          (t_d *. 1000.) (t_b *. 1000.);
+        (depth, d, b, t_d, t_b, reduction))
+      depths
+  in
+  Fmt.pr
+    "@.replay-reduction gate: >= 10x fewer DPOR replays than BFS at every \
+     depth, classes covered@.";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"section\": \"dpor\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"budget\": %d,\n\
+      \  \"coverage_gate\": true,\n\
+      \  \"reduction_gate_10x\": true,\n\
+      \  \"reproducers\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"racy_ring\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      smoke budget
+      (String.concat ",\n"
+         (List.map
+            (fun (name, ref_replays, dpor_replays, cls) ->
+              Printf.sprintf
+                "    { \"name\": %S, \"reference_replays\": %d, \
+                 \"dpor_replays\": %d, \"classes\": [%s] }"
+                name ref_replays dpor_replays
+                (String.concat ", "
+                   (List.map (Printf.sprintf "%S") cls)))
+            coverage_rows))
+      (String.concat ",\n"
+         (List.map
+            (fun (depth, d, b, t_d, t_b, reduction) ->
+              Printf.sprintf
+                "    { \"branch_depth\": %d, \"dpor_replays\": %d, \
+                 \"bfs_replays\": %d, \"reference_runs\": %d, \
+                 \"reduction\": %.1f, \"dpor_seconds\": %.6f, \
+                 \"bfs_seconds\": %.6f, \"dpor_classes\": [%s] }"
+                depth d.Interp.Explore.replays b.Interp.Explore.replays
+                b.Interp.Explore.runs reduction t_d t_b
+                (String.concat ", "
+                   (List.map (Printf.sprintf "%S") (classes d))))
+            ring_rows))
+  in
+  let oc = open_out "BENCH_dpor.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_dpor.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1330,6 +1489,7 @@ let sections =
     ("interproc", interproc_section);
     ("explore", explore_section);
     ("explore-perf", explore_perf_section);
+    ("dpor", dpor_section);
     ("interp-perf", interp_perf_section);
     ("scaling", scaling_section);
     ("races", races_section);

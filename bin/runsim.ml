@@ -27,8 +27,8 @@ let read_program file bench =
       exit 2
 
 let run file bench ranks threads seed round_robin max_steps instrument jobs
-    inject show_trace must_check level explore branch_depth budget explore_jobs
-    interp =
+    inject show_trace must_check level explore explore_mode branch_depth budget
+    explore_jobs interp =
   let program = read_program file bench in
   let issues = Minilang.Validate.check_program program in
   List.iter (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i)) issues;
@@ -72,8 +72,16 @@ let run file bench ranks threads seed round_robin max_steps instrument jobs
       exit 2
     end;
     let summary =
-      Interp.Explore.outcomes ~branch_depth ~budget ~jobs:explore_jobs ~interp
-        ~config program
+      match explore_mode with
+      | `Bfs ->
+          Interp.Explore.outcomes ~branch_depth ~budget ~jobs:explore_jobs
+            ~interp ~config program
+      | `Dpor ->
+          Interp.Explore.outcomes_dpor ~branch_depth ~budget
+            ~jobs:explore_jobs ~config program
+      | `Reference ->
+          Interp.Explore.outcomes_reference ~branch_depth ~budget ~config
+            program
     in
     Fmt.pr "%a@." Interp.Explore.pp_summary summary;
     if
@@ -230,6 +238,20 @@ let explore =
           "Instead of one run, systematically explore scheduler choices \
            (with state-fingerprint pruning) and classify every outcome.")
 
+let explore_mode =
+  Arg.(
+    value
+    & opt (enum [ ("bfs", `Bfs); ("dpor", `Dpor); ("reference", `Reference) ])
+        `Bfs
+    & info [ "explore-mode" ] ~docv:"MODE"
+        ~doc:
+          "With $(b,--explore): exploration engine. 'bfs' (default) \
+           enumerates schedule prefixes breadth-first with \
+           state-fingerprint pruning; 'dpor' explores one representative \
+           schedule per Mazurkiewicz trace with dynamic partial-order \
+           reduction; 'reference' is the unpruned brute-force baseline \
+           (ignores --explore-jobs and --interp).")
+
 let branch_depth =
   Arg.(
     value & opt int 8
@@ -282,6 +304,7 @@ let cmd =
     Term.(
       const run $ file $ bench $ ranks $ threads $ seed $ round_robin
       $ max_steps $ instrument $ jobs $ inject $ show_trace $ must_check
-      $ level $ explore $ branch_depth $ budget $ explore_jobs $ interp)
+      $ level $ explore $ explore_mode $ branch_depth $ budget $ explore_jobs
+      $ interp)
 
 let () = exit (Cmd.eval cmd)

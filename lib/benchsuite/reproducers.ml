@@ -51,6 +51,40 @@ let all =
 }|};
     };
     {
+      name = "racy-ring";
+      description =
+        "hybrid ring exchange: master and a nowait single race a \
+         counter-guarded payload update, then independent per-thread \
+         work pads the interleaving space (examples/programs/\
+         racy_ring.hml; the DPOR showcase)";
+      source =
+        {|func main() {
+  var acc = rank() * 16;
+  var next = (rank() + 1) % size();
+  var prev = (rank() + size() - 1) % size();
+  pragma omp parallel num_threads(3) {
+    pragma omp master {
+      __count_enter(3);
+      acc = acc + 1;
+      __count_exit(3);
+    }
+    pragma omp single nowait {
+      __count_enter(3);
+      acc = acc * 2;
+      __count_exit(3);
+    }
+    var local = rank();
+    pragma omp for i = 0 to 12 nowait {
+      local = local + i;
+    }
+  }
+  MPI_Send(acc, next, 7);
+  acc = MPI_Recv(prev, 7);
+  MPI_Barrier();
+  print(acc);
+}|};
+    };
+    {
       name = "sections-collectives";
       description = "three sections, two of which issue different collectives";
       source =

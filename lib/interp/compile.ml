@@ -52,10 +52,11 @@ type frame = { slots : int array; up : frame; mutable fid : int }
 
 let rec dummy_frame = { slots = [||]; up = dummy_frame; fid = -1 }
 
-let root_frame nslots = { slots = Array.make nslots 0; up = dummy_frame; fid = -1 }
+let root_frame ?(fid = -1) nslots =
+  { slots = Array.make nslots 0; up = dummy_frame; fid }
 
-let child_frame ~parent nslots =
-  { slots = Array.make nslots 0; up = parent; fid = -1 }
+let child_frame ?(fid = -1) ~parent nslots =
+  { slots = Array.make nslots 0; up = parent; fid }
 
 let rec up fr n = if n <= 0 then fr else up fr.up (n - 1)
 

@@ -12,14 +12,18 @@
     core". *)
 
 (** One level of mutable variable storage; [up] is the lexically enclosing
-    frame (root frames point at a dummy).  [fid] is a lazily-assigned
-    per-run frame identity used by the dynamic race oracle ({!Raceck}) to
-    key storage locations; [-1] until the oracle first sees the frame. *)
+    frame (root frames point at a dummy).  [fid] is a per-run frame
+    identity used to key storage locations: lazily assigned by the race
+    oracle ({!Raceck}) on first access ([-1] until seen), or — under the
+    DPOR recorder ({!Dpor}), which needs identities that are equal across
+    runs sharing a schedule prefix — assigned at frame creation via
+    [?fid] (drawn from {!Raceck.fresh_fid}, the same counter, so the two
+    schemes never collide). *)
 type frame = { slots : int array; up : frame; mutable fid : int }
 
-val root_frame : int -> frame
+val root_frame : ?fid:int -> int -> frame
 
-val child_frame : parent:frame -> int -> frame
+val child_frame : ?fid:int -> parent:frame -> int -> frame
 
 (** [up fr n] walks [n] levels up the frame chain. *)
 val up : frame -> int -> frame

@@ -1,0 +1,126 @@
+(** Step-level dependence recording for dynamic partial-order reduction.
+    See dpor.mli for the model and explore.ml for the engine that
+    consumes it. *)
+
+type eobj =
+  | ESlot of { fid : int; slot : int; write : bool }
+  | ELock of { rank : int; name : string }
+  | ESingle of { forker : int; uid : int; instance : int }
+  | EColl of { rank : int }
+  | EMail of { dst : int }
+  | ECounter of { rank : int; region : int }
+  | ESpawn
+
+let conflicts a b =
+  match (a, b) with
+  | ESlot x, ESlot y ->
+      x.fid = y.fid && x.slot = y.slot && (x.write || y.write)
+  | ELock x, ELock y -> x.rank = y.rank && x.name = y.name
+  | ESingle x, ESingle y ->
+      x.forker = y.forker && x.uid = y.uid && x.instance = y.instance
+  | EColl x, EColl y -> x.rank = y.rank
+  | EMail x, EMail y -> x.dst = y.dst
+  | ECounter x, ECounter y -> x.rank = y.rank && x.region = y.region
+  | ESpawn, ESpawn -> true
+  | _ -> false
+
+let steps_conflict xs ys =
+  Array.exists (fun x -> Array.exists (conflicts x) ys) xs
+
+type step_view = {
+  v_task : int;
+  v_runnable : int array;
+  v_events : eobj array;
+  v_clock : int array;
+  v_epoch : int;
+}
+
+(* [v_clock] is the executing task's vector clock at the *beginning* of
+   its step (right after the begin-of-step tick, before any of the
+   step's own effects), so it sees every edge the task acquired through
+   its {e earlier} steps but not the edges step [j] itself creates;
+   [v_epoch] is the task's own component after that tick.  Every later
+   tick of a task strictly increases its component, so
+   [clock_j.(task_i) >= epoch_i] holds iff a happens-before path through
+   steps before [j] publishes task_i's state at or after step [i] into
+   task_j — the Flanagan–Godefroid test.  Snapshotting at the end of the
+   step instead would fold the direct interaction itself into the clock
+   (a lock handoff, a single claim observed by the skipping thread) and
+   declare exactly the racing pairs DPOR must reorder "ordered". *)
+let ordered steps i j =
+  let si = steps.(i) and sj = steps.(j) in
+  si.v_task = sj.v_task
+  || Array.length sj.v_clock > si.v_task
+     && sj.v_clock.(si.v_task) >= si.v_epoch
+
+type rstep = {
+  mutable s_task : int;
+  mutable s_runnable : int array;
+  mutable s_events : eobj list;  (** Reversed emission order. *)
+  mutable s_clock : int array;
+  mutable s_epoch : int;
+}
+
+type recorder = {
+  oracle : Raceck.t;
+  steps : rstep array;
+  mutable nsteps : int;
+  mutable open_ : bool;
+}
+
+let make ~window =
+  {
+    oracle = Raceck.create ();
+    steps =
+      Array.init (max window 1) (fun _ ->
+          {
+            s_task = -1;
+            s_runnable = [||];
+            s_events = [];
+            s_clock = [||];
+            s_epoch = 0;
+          });
+    nsteps = 0;
+    open_ = false;
+  }
+
+let oracle r = r.oracle
+
+let fresh_fid r = Raceck.fresh_fid r.oracle
+
+let begin_step r ~task ~runnable ~n =
+  if r.nsteps >= Array.length r.steps then begin
+    r.open_ <- false;
+    false
+  end
+  else begin
+    Raceck.tick r.oracle task;
+    let s = r.steps.(r.nsteps) in
+    s.s_task <- task;
+    s.s_runnable <- Array.sub runnable 0 n;
+    s.s_events <- [];
+    s.s_clock <- Raceck.clock r.oracle task;
+    s.s_epoch <- Raceck.clock_value r.oracle task;
+    r.nsteps <- r.nsteps + 1;
+    r.open_ <- true;
+    true
+  end
+
+let emit r e =
+  if r.open_ then begin
+    let s = r.steps.(r.nsteps - 1) in
+    s.s_events <- e :: s.s_events
+  end
+
+let finalize r = r.open_ <- false
+
+let views r =
+  Array.init r.nsteps (fun k ->
+      let s = r.steps.(k) in
+      {
+        v_task = s.s_task;
+        v_runnable = s.s_runnable;
+        v_events = Array.of_list (List.rev s.s_events);
+        v_clock = s.s_clock;
+        v_epoch = s.s_epoch;
+      })

@@ -1,0 +1,108 @@
+(** Step-level dependence recording for dynamic partial-order reduction
+    (see {!Explore.outcomes_dpor}).
+
+    A {!recorder} rides along one simulator run ({!Sim.run_compiled}'s
+    [?recorder]): the scheduler opens a step per scheduling decision, the
+    runtime emits one {!eobj} footprint per visible operation the step
+    performs, and the recorder snapshots the executing task's {!Raceck}
+    vector clock so the explorer can decide, after the run, which pairs
+    of steps were dependent ({!steps_conflict}) yet unordered
+    ({!ordered}) — exactly the racing pairs DPOR must backtrack at.
+
+    The dependence relation is an over-approximation (two steps whose
+    footprints do not conflict commute: executing them in either order
+    from the same state reaches the same state and neither disables the
+    other), and the happens-before test is an under-approximation (an
+    [ordered] verdict is exact, a non-verdict may still be ordered).
+    Both directions are the safe ones for DPOR: imprecision costs extra
+    backtrack points, never missed traces. *)
+
+(** Footprint of one visible operation.  Two footprints conflict when
+    reordering the steps that performed them could change the outcome:
+
+    - [ESlot]: a frame-slot access (from {!Compile.access}); conflicts
+      with an access to the same (frame, slot) when either writes.
+    - [ELock]: acquire/release of a named critical section of one rank.
+    - [ESingle]: a [single] claim — arbitration of one (construct,
+      instance) within one team (identified by its forker task).
+    - [EColl]: an MPI collective (or CC-check) arrival by a task of the
+      given rank; same-rank arrivals conflict (concurrent-collective
+      detection and engine slots are per-rank), cross-rank arrivals
+      commute.
+    - [EMail]: point-to-point traffic touching the inbox of rank [dst]
+      (sends to it, receive attempts by it) — message matching is
+      arrival-ordered.
+    - [ECounter]: a concurrency-counter enter/exit of one (rank, region).
+    - [ESpawn]: a [parallel] fork; spawns conflict with each other
+      because task ids — and with them the deterministic round-robin
+      tail every explored schedule ends with — are assigned in spawn
+      order. *)
+type eobj =
+  | ESlot of { fid : int; slot : int; write : bool }
+  | ELock of { rank : int; name : string }
+  | ESingle of { forker : int; uid : int; instance : int }
+  | EColl of { rank : int }
+  | EMail of { dst : int }
+  | ECounter of { rank : int; region : int }
+  | ESpawn
+
+val conflicts : eobj -> eobj -> bool
+
+(** Do two step footprints contain any conflicting pair? *)
+val steps_conflict : eobj array -> eobj array -> bool
+
+(** One recorded step, extracted from a recorder after the run: the task
+    that ran, the runnable task ids the scheduler chose among (spawn
+    order), the footprints the step emitted, the task's vector clock at
+    the {e beginning} of the step (so it carries the edges acquired by
+    the task's earlier steps, not those the step itself creates — the
+    Flanagan–Godefroid test), and the task's own clock component at the
+    step. *)
+type step_view = {
+  v_task : int;
+  v_runnable : int array;
+  v_events : eobj array;
+  v_clock : int array;
+  v_epoch : int;
+}
+
+(** Did step [i] happen before step [j] ([i < j] in recording order)
+    through steps prior to [j]?  The direct interaction of the pair
+    itself is deliberately excluded (see {!step_view}): a pair ordered
+    only by its own race must still be backtracked.  Exact up to edges
+    the runtime did not report to the oracle (an under-approximation —
+    the safe direction). *)
+val ordered : step_view array -> int -> int -> bool
+
+type recorder
+
+(** A recorder for one run, recording at most [window] steps (the run
+    continues past the window; recording just stops). *)
+val make : window:int -> recorder
+
+(** The vector-clock oracle the simulator must be fed synchronisation
+    through (it is passed as {!Sim.run_compiled}'s race oracle
+    automatically when [?recorder] is given). *)
+val oracle : recorder -> Raceck.t
+
+(** Creation-time frame identity, drawn from the same counter as the
+    oracle's lazy assignment so the two schemes never collide.  Frames
+    created in the shared prefix of two runs get equal ids in both,
+    making cross-run footprint comparison meaningful. *)
+val fresh_fid : recorder -> int
+
+(** [begin_step r ~task ~runnable ~n] opens the next step: ticks
+    [task]'s clock, snapshots it (the begin-of-step clock) together with
+    the epoch, and copies [runnable.(0 .. n-1)].  Returns [false] once
+    the window is exhausted (the caller may then stop emitting). *)
+val begin_step : recorder -> task:int -> runnable:int array -> n:int -> bool
+
+(** Append a footprint to the currently open step (no-op when the window
+    is exhausted). *)
+val emit : recorder -> eobj -> unit
+
+(** Close the recorder at the end of the run.  Idempotent. *)
+val finalize : recorder -> unit
+
+(** Steps recorded, in execution order. *)
+val views : recorder -> step_view array

@@ -19,8 +19,11 @@
     extracted (see {!Compile.access}).  Each location remembers its last
     write epoch and the reads since; an access unordered with a prior
     conflicting access is a race.  Point-to-point sends and MPI
-    collectives deliberately induce {e no} edges — they order ranks, not
-    the threads of one rank, and ranks never share frames.
+    collectives deliberately induce {e no} edges here — they order
+    ranks, not the threads of one rank, and ranks never share frames.
+    (The DPOR recorder additionally feeds completed collectives through
+    {!barrier} for its cross-rank happens-before test; its bounded
+    recording window keeps that join cheap.)
 
     The oracle is a validation harness for the static {!Parcoach.Races}
     pass: every race it observes on a run must be covered by a static
@@ -131,6 +134,15 @@ let release r ~task ~rank ~name =
   tick r task
 
 (* --- accesses ------------------------------------------------------ *)
+
+let clock r task = Array.copy (vc_of r task)
+
+let clock_value r task = (vc_of r task).(task)
+
+let fresh_fid r =
+  let id = r.next_fid in
+  r.next_fid <- id + 1;
+  id
 
 let fid_of r (fr : Compile.frame) =
   if fr.Compile.fid >= 0 then fr.Compile.fid

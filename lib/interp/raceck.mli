@@ -38,6 +38,23 @@ val acquire : t -> task:int -> rank:int -> name:string -> unit
 
 val release : t -> task:int -> rank:int -> name:string -> unit
 
+(** {2 Clock access for the DPOR recorder ({!Dpor})} *)
+
+(** Advance a task's own clock component (one scheduler step). *)
+val tick : t -> int -> unit
+
+(** Copy of the task's current vector clock. *)
+val clock : t -> int -> int array
+
+(** The task's own clock component. *)
+val clock_value : t -> int -> int
+
+(** Draw a fresh frame identity from the same counter as the lazy
+    per-access assignment, for creation-time assignment (deterministic
+    along a schedule prefix, so footprints of runs sharing that prefix
+    are comparable). *)
+val fresh_fid : t -> int
+
 (** Record one slot access: [frame] is the frame the statement executes
     against; the access's hops/slot locate the storage. *)
 val access :

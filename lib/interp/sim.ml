@@ -197,10 +197,18 @@ type ('k, 'c) core = {
   find : int -> ('k, 'c) Task.t;  (** Task by engine cookie. *)
   set_cell : 'c -> int -> unit;  (** Deliver a result into a cell. *)
   iter_tasks : (('k, 'c) Task.t -> unit) -> unit;  (** In spawn order. *)
-  race : Raceck.t option;
+  mutable race : Raceck.t option;
       (** Dynamic race oracle; fed the synchronisation the runtime
-          executes (and, in the compiled core only, slot accesses). *)
+          executes (and, in the compiled core only, slot accesses).
+          Mutable so the DPOR driver can drop it once the recording
+          window closes. *)
+  mutable events : (Dpor.eobj -> unit) option;
+      (** DPOR footprint sink: every visible operation of the current
+          step reports its footprint here (compiled core only). *)
 }
+
+let emit_event (co : _ core) e =
+  match co.events with Some f -> f e | None -> ()
 
 let fail_eval rank site fmt =
   Printf.ksprintf
@@ -230,6 +238,7 @@ let op_of_ast = Compile.op_of_ast
 
 (* Register an arrival and, if the collective is now full, complete it. *)
 let collective_arrive (co : ('k, 'c) core) (task : ('k, 'c) Task.t) call cell =
+  emit_event co (Dpor.EColl { rank = task.Task.rank });
   task.Task.wait_cell <- cell;
   match
     Mpisim.Engine.arrive co.engine ~rank:task.Task.rank ~cookie:task.Task.id
@@ -264,6 +273,23 @@ let collective_arrive (co : ('k, 'c) core) (task : ('k, 'c) Task.t) call cell =
       match Mpisim.Engine.try_complete co.engine with
       | None -> ()
       | Some (Mpisim.Engine.Completed { calls; results }) ->
+          (* A completed collective is a rendezvous of its one-per-rank
+             participants: when a DPOR recorder is listening, join their
+             clocks (the cross-rank ordering the rendezvous enforces; it
+             cannot hide intra-rank races since ranks never share
+             frames).  The standalone race oracle keeps its documented
+             no-collective-edges semantics — and the join would be
+             quadratic there: it densifies the root clocks, which every
+             later fork copies, where the recorder's window bounds the
+             joined prefix. *)
+          (match (co.race, co.events) with
+          | Some r, Some _ ->
+              Raceck.barrier r
+                (List.map
+                   (fun (rc : Mpisim.Engine.rank_call) ->
+                     rc.Mpisim.Engine.cookie)
+                   calls)
+          | _ -> ());
           List.iter
             (fun (rc : Mpisim.Engine.rank_call) ->
               let t = co.find rc.Mpisim.Engine.cookie in
@@ -300,6 +326,7 @@ let check_assert_mono (_ : _ core) task ~site =
       (Abort_exn (Aborted (Multithreaded_region { rank = task.Task.rank; site })))
 
 let check_count_enter (co : _ core) task ~region ~site =
+  emit_event co (Dpor.ECounter { rank = task.Task.rank; region });
   co.stats.counter_checks <- co.stats.counter_checks + 1;
   let key = (task.Task.rank, region) in
   let n = 1 + Option.value ~default:0 (Hashtbl.find_opt co.counters key) in
@@ -310,6 +337,7 @@ let check_count_enter (co : _ core) task ~region ~site =
          (Aborted (Concurrent_region { rank = task.Task.rank; region; site })))
 
 let check_count_exit (co : _ core) task ~region =
+  emit_event co (Dpor.ECounter { rank = task.Task.rank; region });
   let key = (task.Task.rank, region) in
   let n = Option.value ~default:0 (Hashtbl.find_opt co.counters key) in
   Hashtbl.replace co.counters key (max 0 (n - 1))
@@ -343,6 +371,7 @@ let enforce_thread_level (co : _ core) task site =
 let do_send (co : _ core) task ~value ~dst ~tag ~site =
   if dst < 0 || dst >= co.config.nranks then
     fail_eval task.Task.rank site "send destination %d out of range" dst;
+  emit_event co (Dpor.EMail { dst });
   Mpisim.Mailbox.send co.mailbox ~src:task.Task.rank ~dst ~tag ~value ~site;
   (* An eager send may unblock a matching receiver of [dst]. *)
   co.iter_tasks (fun t ->
@@ -361,6 +390,7 @@ let do_send (co : _ core) task ~value ~dst ~tag ~site =
 (* Source range already checked by the caller (before resolving the
    target cell, to match the reference's error order). *)
 let recv_attempt (co : _ core) task cell ~src ~tag ~site =
+  emit_event co (Dpor.EMail { dst = task.Task.rank });
   match Mpisim.Mailbox.recv co.mailbox ~dst:task.Task.rank ~src ~tag with
   | Some m -> co.set_cell cell m.Mpisim.Mailbox.value
   | None ->
@@ -368,6 +398,7 @@ let recv_attempt (co : _ core) task cell ~src ~tag ~site =
       task.Task.status <- Task.Blocked (Task.At_recv { src; tag; site })
 
 let critical_acquire (co : _ core) task ~name ~site =
+  emit_event co (Dpor.ELock { rank = task.Task.rank; name });
   match
     Ompsim.Critical.acquire co.criticals.(task.Task.rank) ~name
       ~cookie:task.Task.id
@@ -381,6 +412,7 @@ let critical_acquire (co : _ core) task ~name ~site =
       task.Task.status <- Task.Blocked (Task.At_critical { name; site })
 
 let critical_release (co : _ core) task name =
+  emit_event co (Dpor.ELock { rank = task.Task.rank; name });
   (match co.race with
   | Some r -> Raceck.release r ~task:task.Task.id ~rank:task.Task.rank ~name
   | None -> ());
@@ -1018,6 +1050,7 @@ let run_reference ?(config = default_config) ?probe (program : Ast.program) =
       set_cell = (fun c v -> c := v);
       iter_tasks = (fun f -> List.iter f !tasks);
       race = None;
+      events = None;
     }
   in
   let st =
@@ -1164,6 +1197,10 @@ type cstate = {
   ectxs : Compile.ectx array ref;
   ntasks : int ref;
   runnable : int array ref;  (** Scratch for the scheduler's index scan. *)
+  fresh_fid : unit -> int;
+      (** Creation-time frame identity for the DPOR recorder (frames of
+          runs sharing a schedule prefix get equal ids); [-1] — the
+          lazy-assignment sentinel — otherwise. *)
 }
 
 let dummy_ctask : ctask =
@@ -1261,8 +1298,23 @@ let cpush_single_body (task : ctask) body frame ~team ~nowait =
     :: task.Task.konts
 
 (* Feed the recorded slot accesses of one executed statement (or one
-   loop-back condition re-evaluation) to the race oracle. *)
+   loop-back condition re-evaluation) to the race oracle and, as
+   footprints, to the DPOR recorder. *)
 let crecord_accesses st (task : ctask) ~site ~frame acc =
+  (match st.core.events with
+  | None -> ()
+  | Some emit ->
+      Array.iter
+        (fun (a : Compile.access) ->
+          let fr = Compile.up frame a.Compile.a_hops in
+          emit
+            (Dpor.ESlot
+               {
+                 fid = fr.Compile.fid;
+                 slot = a.Compile.a_slot;
+                 write = a.Compile.a_write;
+               }))
+        acc);
   match st.core.race with
   | None -> ()
   | Some r ->
@@ -1310,7 +1362,9 @@ let cexec_stmt st (task : ctask) (cs : Compile.cstmt) frame =
         (Abort_exn
            (Fault (Eval_error { rank = task.Task.rank; site; message })))
   | Compile.CCall { target; args } ->
-      let nf = Compile.root_frame target.Compile.f_nslots in
+      let nf =
+        Compile.root_frame ~fid:(st.fresh_fid ()) target.Compile.f_nslots
+      in
       Array.iteri (fun i a -> nf.Compile.slots.(i) <- a ec frame) args;
       task.Task.konts <-
         CKseq { code = target.Compile.f_body; pc = 0; frame = nf }
@@ -1378,12 +1432,16 @@ let cexec_stmt st (task : ctask) (cs : Compile.cstmt) frame =
       in
       if n <= 0 then
         fail_eval task.Task.rank site "num_threads(%d) must be positive" n;
+      (* Task ids — and with them the deterministic round-robin tail of
+         every explored schedule — are assigned in spawn order, so
+         spawns do not commute. *)
+      emit_event st.core Dpor.ESpawn;
       let team =
         Ompsim.Team.create ~rank:task.Task.rank ~size:n ~parent:task.Task.team
           ~forker:task.Task.id
       in
       for tid = 0 to n - 1 do
-        let fr = Compile.child_frame ~parent:frame nslots in
+        let fr = Compile.child_frame ~fid:(st.fresh_fid ()) ~parent:frame nslots in
         let child =
           cspawn st ~rank:task.Task.rank ~tid ~team:(Some team)
             ~konts:[ CKseq { code = body; pc = 0; frame = fr } ]
@@ -1398,6 +1456,15 @@ let cexec_stmt st (task : ctask) (cs : Compile.cstmt) frame =
       | None -> cpush_single_body task body frame ~team:None ~nowait:true
       | Some team ->
           let instance = Task.next_instance task cs.Compile.uid in
+          (* Claim arbitration: whichever team member claims first runs
+             the body, so claims of one instance do not commute. *)
+          emit_event st.core
+            (Dpor.ESingle
+               {
+                 forker = team.Ompsim.Team.forker;
+                 uid = cs.Compile.uid;
+                 instance;
+               });
           if Ompsim.Team.claim_single team ~construct:cs.Compile.uid ~instance
           then cpush_single_body task body frame ~team:(Some team) ~nowait
           else if not nowait then barrier_arrive st.core task team ~site)
@@ -1545,7 +1612,8 @@ let make (program : Ast.program) : compiled = Compile.lower program
     the source program.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-let run_compiled ?(config = default_config) ?probe ?race (prog : compiled) =
+let run_compiled ?(config = default_config) ?probe ?race ?recorder
+    (prog : compiled) =
   let entry =
     match Compile.find prog config.entry with
     | Some f -> f
@@ -1556,6 +1624,11 @@ let run_compiled ?(config = default_config) ?probe ?race (prog : compiled) =
   if entry.Compile.f_nparams <> 0 then
     invalid_arg "Sim.run: the entry function must take no parameters";
   let degree_cap = match probe with Some p -> p.fp_depth + 1 | None -> 64 in
+  (* The recorder supplies the vector-clock oracle (it needs the
+     synchronisation edges for its happens-before snapshots). *)
+  let race =
+    match recorder with Some d -> Some (Dpor.oracle d) | None -> race
+  in
   let ctasks = ref (Array.make 8 dummy_ctask) in
   let ectxs = ref (Array.make 8 dummy_ectx) in
   let ntasks = ref 0 in
@@ -1575,11 +1648,19 @@ let run_compiled ?(config = default_config) ?probe ?race (prog : compiled) =
             f !ctasks.(i)
           done);
       race;
+      events = (match recorder with Some d -> Some (Dpor.emit d) | None -> None);
     }
   in
-  let st = { core; ctasks; ectxs; ntasks; runnable = ref (Array.make 8 0) } in
+  let fresh_fid =
+    match recorder with
+    | Some d -> fun () -> Dpor.fresh_fid d
+    | None -> fun () -> -1
+  in
+  let st =
+    { core; ctasks; ectxs; ntasks; runnable = ref (Array.make 8 0); fresh_fid }
+  in
   for rank = 0 to config.nranks - 1 do
-    let frame = Compile.root_frame entry.Compile.f_nslots in
+    let frame = Compile.root_frame ~fid:(fresh_fid ()) entry.Compile.f_nslots in
     ignore
       (cspawn st ~rank ~tid:0 ~team:None
          ~konts:[ CKseq { code = entry.Compile.f_body; pc = 0; frame } ])
@@ -1625,6 +1706,16 @@ let run_compiled ?(config = default_config) ?probe ?race (prog : compiled) =
             incr cursor;
             c
       in
+      (match recorder with
+      | Some d when core.events <> None ->
+          (* Open the step: runnable ids + chosen task + clock tick.  The
+             recorder stops at its window; beyond it, drop the hooks so
+             the tail runs at full speed. *)
+          if not (Dpor.begin_step d ~task:buf.(idx) ~runnable:buf ~n) then begin
+            core.events <- None;
+            core.race <- None
+          end
+      | Some _ | None -> ());
       Some tasks.(buf.(idx))
     end
   in
@@ -1672,6 +1763,9 @@ let run_compiled ?(config = default_config) ?probe ?race (prog : compiled) =
     | Compile.Error { rank; site; message } ->
         Fault (Eval_error { rank; site; message })
   in
+  (* Snapshot the last recorded step's clock (the next begin_step would
+     have done it; there is none after the run ends or aborts). *)
+  (match recorder with Some d -> Dpor.finalize d | None -> ());
   { outcome; stats = core.stats; engine = core.engine }
 
 (** Execute [program] (already validated) with the compiled core:
@@ -1681,8 +1775,8 @@ let run_compiled ?(config = default_config) ?probe ?race (prog : compiled) =
     degree record is capped at the same depth.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-let run ?config ?probe ?race (program : Ast.program) =
-  run_compiled ?config ?probe ?race (make program)
+let run ?config ?probe ?race ?recorder (program : Ast.program) =
+  run_compiled ?config ?probe ?race ?recorder (make program)
 
 (** Trace of [print] events in execution order. *)
 let trace (result : result) = List.rev result.stats.trace

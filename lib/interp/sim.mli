@@ -104,20 +104,25 @@ val make : Minilang.Ast.program -> compiled
     always canonical in compiled form).  [race], when given, feeds every
     slot access and synchronisation event of the run to the dynamic race
     oracle ({!Raceck}); query it with {!Raceck.races} afterwards.
+    [recorder], when given, records per-step dependence footprints,
+    runnable sets and vector-clock snapshots for the DPOR explorer
+    ({!Dpor}); it supplies its own clock oracle, so [race] is ignored
+    alongside it.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
 val run_compiled :
-  ?config:config -> ?probe:probe -> ?race:Raceck.t -> compiled -> result
+  ?config:config -> ?probe:probe -> ?race:Raceck.t ->
+  ?recorder:Dpor.recorder -> compiled -> result
 
 (** Execute a validated program with the compiled core:
     {!make} + {!run_compiled}.  [probe], when given, records state
     fingerprints for the first [probe_depth] steps; [race] attaches the
-    dynamic race oracle.
+    dynamic race oracle; [recorder] the DPOR step recorder.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
 val run :
   ?config:config -> ?probe:probe -> ?race:Raceck.t ->
-  Minilang.Ast.program -> result
+  ?recorder:Dpor.recorder -> Minilang.Ast.program -> result
 
 (** The original AST tree-walker, kept as the equivalence oracle for the
     compiled core: same contract and observable behaviour (traces,

@@ -429,6 +429,57 @@ let properties =
         && String.equal
              (Interp.Explore.summary_to_string p1)
              (Interp.Explore.summary_to_string (pruned 4)));
+    (* The DPOR explorer picks one representative per Mazurkiewicz trace,
+       so per-class counts legitimately differ from the reference — but
+       its contract is class coverage: with a recording window spanning
+       the whole run (racing-pair backtracks reach below [branch_depth],
+       so we size it to the round-robin run length plus slack), it must
+       reach every outcome class the reference reaches within its own
+       divergence window (and possibly more).  Every witness must replay
+       to its class, the summary accounting must balance, and the result
+       must be deterministic in the number of domains. *)
+    Test.make ~name:"DPOR covers the reference classes (witnesses, jobs)"
+      ~count:25 arb_racy_program (fun p ->
+        let config =
+          {
+            Interp.Sim.nranks = 2;
+            default_nthreads = 2;
+            schedule = `Round_robin;
+            max_steps = 50_000;
+            entry = "main";
+            record_trace = false;
+            thread_level = Mpisim.Thread_level.Multiple;
+          }
+        in
+        let budget = 50_000 in
+        let reference =
+          Interp.Explore.outcomes_reference ~branch_depth:4 ~budget ~config p
+        in
+        let run_length =
+          (Interp.Sim.run ~config p).Interp.Sim.stats.Interp.Sim.steps
+        in
+        let dpor jobs =
+          Interp.Explore.outcomes_dpor ~branch_depth:(run_length + 16) ~budget
+            ~jobs ~config p
+        in
+        let d1 = dpor 1 in
+        let classes (s : Interp.Explore.summary) =
+          List.sort compare (List.map fst s.Interp.Explore.witnesses)
+        in
+        List.for_all
+          (fun c -> List.mem c (classes d1))
+          (classes reference)
+        && d1.Interp.Explore.runs
+           = d1.Interp.Explore.replays + d1.Interp.Explore.pruned
+        && List.for_all
+             (fun (name, script) ->
+               let r = Interp.Explore.replay ~config p script in
+               String.equal name
+                 (Interp.Explore.class_name r.Interp.Sim.outcome))
+             d1.Interp.Explore.witnesses
+        && String.equal
+             (Interp.Explore.summary_to_string d1)
+             (Interp.Explore.summary_to_string (dpor 4)));
   ]
 
 let suite =
