@@ -24,14 +24,36 @@ let read_program file bench =
       Fmt.epr "give a source file or --bench NAME@.";
       exit 2
 
-let run file bench initial_multi level taint interproc races jobs json
+let run file bench initial_multi level taint interproc races jobs json timings
     instrument_mode output dot =
-  let program = read_program file bench in
-  let issues = Minilang.Validate.check_program program in
-  List.iter
-    (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i))
-    issues;
-  if not (Minilang.Validate.is_valid issues) then exit 1;
+  let tm =
+    if timings then Some (Parcoach.Timings.create ()) else None
+  in
+  let time phase f =
+    match tm with None -> f () | Some t -> Parcoach.Timings.record t phase f
+  in
+  let report_timings () =
+    match tm with
+    | None -> ()
+    | Some t -> Fmt.epr "per-phase wall-clock:@.%a" Parcoach.Timings.pp t
+  in
+  let program = time "parse" (fun () -> read_program file bench) in
+  let issues =
+    time "validate" (fun () -> Minilang.Validate.check_program program)
+  in
+  (* In --json mode the issues go to stdout as part of the single JSON
+     object (machine consumers and the daemon protocol share one
+     format); the plain mode keeps printing them to stderr. *)
+  if not json then
+    List.iter
+      (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i))
+      issues;
+  if not (Minilang.Validate.is_valid issues) then begin
+    if json then
+      print_endline (Parcoach.Json_report.invalid_to_string issues);
+    report_timings ();
+    exit 1
+  end;
   (match jobs with
   | Some j when j < 1 ->
       Fmt.epr "--jobs must be at least 1 (got %d)@." j;
@@ -47,9 +69,10 @@ let run file bench initial_multi level taint interproc races jobs json
       races;
     }
   in
-  let report = Parcoach.Driver.analyze ~options ?jobs program in
-  if json then print_endline (Parcoach.Json_report.to_string report)
+  let report = Parcoach.Driver.analyze ~options ?jobs ?timings:tm program in
+  if json then print_endline (Parcoach.Json_report.to_string ~issues report)
   else Fmt.pr "%a" Parcoach.Driver.pp_report report;
+  report_timings ();
   (match dot with
   | None -> ()
   | Some prefix ->
@@ -157,7 +180,20 @@ let json =
   Arg.(
     value & flag
     & info [ "json" ]
-        ~doc:"Emit the analysis report as machine-readable JSON.")
+        ~doc:
+          "Emit the analysis report as machine-readable JSON on stdout. \
+           Validation issues are included as an 'issues' array (with \
+           'valid' false and exit 1 when validation fails) instead of \
+           plain text on stderr.")
+
+let timings =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:
+          "Print per-phase wall-clock (parse, validate, cfg, pword, \
+           phase1-3, races) to stderr.  The same timer feeds the \
+           parcoachd response timings.")
 
 let instrument_mode =
   let cv =
@@ -197,9 +233,9 @@ let cmd =
     "static validation of MPI collectives in multi-threaded context"
   in
   Cmd.v
-    (Cmd.info "parcoachc" ~version:"0.5.0" ~doc)
+    (Cmd.info "parcoachc" ~version:"0.6.0" ~doc)
     Term.(
       const run $ file $ bench $ initial_multi $ level $ taint $ interproc
-      $ races $ jobs $ json $ instrument_mode $ output $ dot)
+      $ races $ jobs $ json $ timings $ instrument_mode $ output $ dot)
 
 let () = exit (Cmd.eval cmd)

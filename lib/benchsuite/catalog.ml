@@ -11,6 +11,9 @@ type entry = {
           evaluated codes). *)
   generate_small : unit -> Ast.program;
       (** Small instance that runs in a few thousand simulator steps. *)
+  generate_large : unit -> Ast.program;
+      (** Service-scale instance (function bodies several times the
+          Figure-1 size) for the daemon's cold-vs-warm latency bench. *)
 }
 
 let all : entry list =
@@ -19,26 +22,31 @@ let all : entry list =
       name = "BT-MZ";
       generate = (fun () -> Npb_mz.bt_mz ~clazz:Npb_mz.C ());
       generate_small = (fun () -> Npb_mz.bt_mz ~clazz:Npb_mz.S ());
+      generate_large = (fun () -> Npb_mz.bt_mz ~clazz:Npb_mz.E ());
     };
     {
       name = "SP-MZ";
       generate = (fun () -> Npb_mz.sp_mz ~clazz:Npb_mz.C ());
       generate_small = (fun () -> Npb_mz.sp_mz ~clazz:Npb_mz.S ());
+      generate_large = (fun () -> Npb_mz.sp_mz ~clazz:Npb_mz.E ());
     };
     {
       name = "LU-MZ";
       generate = (fun () -> Npb_mz.lu_mz ~clazz:Npb_mz.C ());
       generate_small = (fun () -> Npb_mz.lu_mz ~clazz:Npb_mz.S ());
+      generate_large = (fun () -> Npb_mz.lu_mz ~clazz:Npb_mz.E ());
     };
     {
       name = "EPCC suite";
       generate = (fun () -> Epcc.suite ~reps:4 ~variants:6 ());
       generate_small = (fun () -> Epcc.suite ~reps:1 ());
+      generate_large = (fun () -> Epcc.suite ~reps:8 ~variants:12 ());
     };
     {
       name = "HERA";
       generate = (fun () -> Hera.hera ~levels:8 ~packages:24 ());
       generate_small = (fun () -> Hera.hera ~levels:2 ~packages:3 ());
+      generate_large = (fun () -> Hera.hera ~levels:24 ~packages:64 ());
     };
   ]
 

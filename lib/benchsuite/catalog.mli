@@ -5,6 +5,8 @@ type entry = {
   generate : unit -> Minilang.Ast.program;  (** Figure-1-size instance. *)
   generate_small : unit -> Minilang.Ast.program;
       (** Small instance that runs in a few thousand simulator steps. *)
+  generate_large : unit -> Minilang.Ast.program;
+      (** Service-scale instance for the daemon's cold-vs-warm bench. *)
 }
 
 val all : entry list

@@ -15,9 +15,9 @@
 open Minilang
 open Minilang.Builder
 
-type clazz = S | A | B | C
+type clazz = S | A | B | C | D | E
 
-let scale = function S -> 1 | A -> 2 | B -> 4 | C -> 8
+let scale = function S -> 1 | A -> 2 | B -> 4 | C -> 8 | D -> 16 | E -> 32
 
 (* A bulked-up numeric kernel: [stages] perfectly-ordinary statement groups
    inside a worksharing loop, as in the unrolled stencil sweeps of the

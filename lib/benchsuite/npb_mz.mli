@@ -4,8 +4,9 @@
     collectives of the reference codes, with numeric kernels replaced by
     [compute] work. *)
 
-(** Problem-class scaling of the skeleton size. *)
-type clazz = S | A | B | C
+(** Problem-class scaling of the skeleton size ([D] and [E] are the
+    service-scale instances used by the daemon bench). *)
+type clazz = S | A | B | C | D | E
 
 val scale : clazz -> int
 

@@ -50,19 +50,33 @@ type report = {
           mode; empty otherwise). *)
 }
 
-let analyze_func ?graph ?call_collects options (f : Ast.func) =
-  let g = match graph with Some g -> g | None -> Cfg.Build.of_func f in
+let analyze_func ?graph ?call_collects ?timings options (f : Ast.func) =
+  let time phase thunk =
+    match timings with None -> thunk () | Some t -> Timings.record t phase thunk
+  in
+  let g =
+    match graph with
+    | Some g -> g
+    | None -> time "cfg" (fun () -> Cfg.Build.of_func f)
+  in
   (* One analysis context per function per run: every phase shares the
      packed graph, cached traversal orders, dominator trees and taint. *)
   let actx = Cfg.Actx.create g in
-  let pword = Pword.compute ~initial:options.initial_word ~actx g in
-  let phase1 = Monothread.analyze pword in
-  let phase2 = Concurrency.analyze pword in
-  let phase3 =
-    Interproc.analyze ?call_collects ~actx g
-      ~taint_filter:options.taint_filter ~params:f.Ast.params
+  let pword =
+    time "pword" (fun () -> Pword.compute ~initial:options.initial_word ~actx g)
   in
-  let races = if options.races then Some (Races.analyze ~pword g f) else None in
+  let phase1 = time "phase1" (fun () -> Monothread.analyze pword) in
+  let phase2 = time "phase2" (fun () -> Concurrency.analyze pword) in
+  let phase3 =
+    time "phase3" (fun () ->
+        Interproc.analyze ?call_collects ~actx g
+          ~taint_filter:options.taint_filter ~params:f.Ast.params)
+  in
+  let races =
+    if options.races then
+      Some (time "races" (fun () -> Races.analyze ~pword g f))
+    else None
+  in
   let race_warnings =
     match races with
     | None -> []
@@ -155,8 +169,15 @@ let run_parallel ~jobs nitems work =
     [jobs] caps the number of domains analysing functions concurrently;
     the default is [min (Domain.recommended_domain_count ()) nfuncs].
     [jobs:1] runs the plain sequential loop.  The report is identical
-    whatever the job count. *)
-let analyze ?(options = default_options) ?graphs ?jobs
+    whatever the job count.
+
+    [reuse], when given, is consulted per function {e before} any
+    analysis runs: returning [Some fr] injects the pre-computed report
+    (the incremental daemon's summary-cache hits) and only the remaining
+    functions are analysed; the merge stays in source order, so mixing
+    cached and fresh reports is byte-identical to a cold run as long as
+    the cached reports are what the cold run would have produced. *)
+let analyze ?(options = default_options) ?graphs ?jobs ?reuse ?timings
     (program : Ast.program) =
   let call_collects =
     if options.interprocedural then Some (Callgraph.may_collect program)
@@ -174,18 +195,57 @@ let analyze ?(options = default_options) ?graphs ?jobs
         List.map2 (fun g f -> (Some g, f)) graphs program.Ast.funcs
   in
   let nitems = List.length items in
+  (* Pre-fill the source-order result slots with reused reports; only the
+     remaining [todo] items pay for analysis. *)
+  let slots = Array.make nitems None in
+  let todo =
+    List.filteri
+      (fun i (_, f) ->
+        match reuse with
+        | None -> true
+        | Some find -> (
+            match find f with
+            | Some fr ->
+                slots.(i) <- Some fr;
+                false
+            | None -> true))
+      items
+  in
+  let todo_idx =
+    let k = ref (-1) in
+    Array.of_list
+      (List.filter_map
+         (fun slot ->
+           incr k;
+           match slot with None -> Some !k | Some _ -> None)
+         (Array.to_list slots))
+  in
+  let ntodo = List.length todo in
   let jobs =
     match jobs with
     | Some j when j < 1 -> invalid_arg "Driver.analyze: jobs must be >= 1"
-    | Some j -> min j nitems
-    | None -> min (Domain.recommended_domain_count ()) nitems
+    | Some j -> min j (max ntodo 1)
+    | None -> min (Domain.recommended_domain_count ()) (max ntodo 1)
   in
-  let analyze_item (graph, f) = analyze_func ?graph ?call_collects options f in
+  let analyze_item (graph, f) =
+    analyze_func ?graph ?call_collects ?timings options f
+  in
+  (if ntodo > 0 then
+     let todo_arr = Array.of_list todo in
+     if jobs <= 1 || ntodo <= 1 then
+       Array.iteri
+         (fun k i -> slots.(i) <- Some (analyze_item todo_arr.(k)))
+         todo_idx
+     else
+       let results = run_parallel ~jobs ntodo (fun k -> analyze_item todo_arr.(k)) in
+       List.iteri (fun k fr -> slots.(todo_idx.(k)) <- Some fr) results);
   let funcs =
-    if jobs <= 1 || nitems <= 1 then List.map analyze_item items
-    else
-      let arr = Array.of_list items in
-      run_parallel ~jobs nitems (fun i -> analyze_item arr.(i))
+    Array.to_list
+      (Array.map
+         (function
+           | Some fr -> fr
+           | None -> invalid_arg "Driver.analyze: missing result slot")
+         slots)
   in
   { program; options; funcs; call_colors }
 

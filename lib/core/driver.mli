@@ -40,6 +40,21 @@ type report = {
           mode; empty otherwise). *)
 }
 
+(** Analyse a single function: build (or reuse) its CFG, run the pword
+    computation and the three phases, optionally the race pass, and
+    assemble the sorted warning list.  [call_collects] is the
+    interprocedural may-collect closure from {!Callgraph.may_collect};
+    [timings] accumulates per-phase wall-clock ([cfg], [pword],
+    [phase1..3], [races]).  This is the unit of work the incremental
+    daemon caches per content hash. *)
+val analyze_func :
+  ?graph:Cfg.Graph.t ->
+  ?call_collects:(string -> bool) ->
+  ?timings:Timings.t ->
+  options ->
+  Minilang.Ast.func ->
+  func_report
+
 (** Run the full static analysis on a validated program.  [graphs], when
     given, must be the CFGs of the program's functions in source order
     (from {!Cfg.Build.of_program}): the analysis then reuses them instead
@@ -50,11 +65,19 @@ type report = {
     [min (Domain.recommended_domain_count ()) nfuncs], and [jobs:1]
     forces the sequential path.  Results are merged in source order, so
     the report (warnings, CC sites, JSON) is byte-identical for every
-    job count. *)
+    job count.
+
+    [reuse] injects pre-computed per-function reports (the daemon's
+    summary-cache hits): functions for which it returns [Some] skip
+    analysis entirely, the rest are analysed and everything is merged in
+    source order.  [timings] accumulates per-phase wall-clock across all
+    analysed functions (see {!analyze_func}). *)
 val analyze :
   ?options:options ->
   ?graphs:Cfg.Graph.t list ->
   ?jobs:int ->
+  ?reuse:(Minilang.Ast.func -> func_report option) ->
+  ?timings:Timings.t ->
   Minilang.Ast.program ->
   report
 

@@ -100,9 +100,31 @@ let warning_json (w : Warning.t) =
   in
   obj (base @ extra)
 
+let issue_json (i : Validate.issue) =
+  obj
+    [
+      ( "severity",
+        str
+          (match i.Validate.severity with
+          | Validate.Error -> "error"
+          | Validate.Warning -> "warning") );
+      ("loc", loc_json i.Validate.loc);
+      ("message", str i.Validate.message);
+    ]
+
+(** Validation issues as a JSON array (the [issues] field of both the
+    [parcoachc --json] output and the daemon protocol responses). *)
+let issues_json issues = arr (List.map issue_json issues)
+
+(** The whole-object rendering of a program that failed validation:
+    [{"valid":false,"issues":[...]}], the single format machine consumers
+    see on [parcoachc --json]'s stdout and in daemon responses. *)
+let invalid_to_string issues =
+  obj [ ("valid", "false"); ("issues", issues_json issues) ]
+
 (** The whole report as a single JSON object: per-function warnings and
     check counts, plus totals by class. *)
-let report_json (report : Driver.report) =
+let report_json ?issues (report : Driver.report) =
   let funcs =
     List.map
       (fun (fr : Driver.func_report) ->
@@ -130,11 +152,19 @@ let report_json (report : Driver.report) =
       (fun (cls, n) -> obj [ ("class", str cls); ("count", string_of_int n) ])
       (Driver.warnings_by_class report)
   in
+  let validity =
+    (* Only present when the caller hands over the validation issues:
+       existing consumers comparing raw reports keep their byte format. *)
+    match issues with
+    | None -> []
+    | Some issues -> [ ("valid", "true"); ("issues", issues_json issues) ]
+  in
   obj
-    [
-      ("total_warnings", string_of_int (Driver.warning_count report));
-      ("warnings_by_class", arr by_class);
-      ("functions", arr funcs);
-    ]
+    (validity
+    @ [
+        ("total_warnings", string_of_int (Driver.warning_count report));
+        ("warnings_by_class", arr by_class);
+        ("functions", arr funcs);
+      ])
 
 let to_string = report_json

@@ -1,13 +1,24 @@
 (** Machine-readable (JSON) rendering of analysis reports, for CI
-    integration of the [parcoachc] tool. *)
+    integration of the [parcoachc] tool and the [parcoachd] daemon. *)
 
 (** JSON string escaping (exposed for tests). *)
 val escape : string -> string
 
 val warning_json : Warning.t -> string
 
-(** The whole report as one JSON object: totals by class plus per-function
-    warnings and check statistics. *)
-val report_json : Driver.report -> string
+(** Validation issues as a JSON array of
+    [{"severity","loc","message"}] objects. *)
+val issues_json : Minilang.Validate.issue list -> string
 
-val to_string : Driver.report -> string
+(** [{"valid":false,"issues":[...]}] — the rendering of a program that
+    failed validation ([parcoachc --json] stdout, daemon responses). *)
+val invalid_to_string : Minilang.Validate.issue list -> string
+
+(** The whole report as one JSON object: totals by class plus per-function
+    warnings and check statistics.  [issues], when given, prepends
+    ["valid":true] and the ["issues"] array so machine consumers see one
+    format whether or not validation succeeded; omitted, the output is
+    byte-compatible with the pre-daemon format. *)
+val report_json : ?issues:Minilang.Validate.issue list -> Driver.report -> string
+
+val to_string : ?issues:Minilang.Validate.issue list -> Driver.report -> string

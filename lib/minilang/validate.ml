@@ -19,6 +19,7 @@
       team must encounter it. *)
 
 open Ast
+module SSet = Set.Make (String)
 
 type severity = Error | Warning
 
@@ -41,7 +42,7 @@ type ctx = {
   in_worksharing : bool;  (* closely nested in single/for/sections *)
   in_single_like : bool;  (* closely nested in single/master/critical *)
   in_divergent : bool;  (* under if/while/for since innermost parallel *)
-  vars : string list;  (* variables in scope *)
+  vars : SSet.t;  (* variables in scope *)
 }
 
 let initial_ctx params =
@@ -50,17 +51,24 @@ let initial_ctx params =
     in_worksharing = false;
     in_single_like = false;
     in_divergent = false;
-    vars = params;
+    vars = SSet.of_list params;
   }
 
 let check_program program =
   let issues = ref [] in
   let add severity loc message = issues := { severity; loc; message } :: !issues in
+  (* Call-site checks resolve callees against this table rather than
+     scanning the function list per call; mirror [find_func]'s
+     first-definition-wins semantics under duplicate names. *)
+  let ftbl = Hashtbl.create (List.length program.funcs) in
+  List.iter
+    (fun f -> if not (Hashtbl.mem ftbl f.fname) then Hashtbl.add ftbl f.fname f)
+    program.funcs;
   let rec check_expr ctx loc e =
     match e with
     | Int _ | Bool _ | Rank | Size | Tid | Nthreads -> ()
     | Var x ->
-        if not (List.mem x ctx.vars) then
+        if not (SSet.mem x ctx.vars) then
           add Error loc (Printf.sprintf "use of undeclared variable '%s'" x)
     | Unop (_, e) -> check_expr ctx loc e
     | Binop (_, a, b) ->
@@ -91,7 +99,7 @@ let check_program program =
          (fun ctx s ->
            check_stmt ctx s;
            match s.sdesc with
-           | Decl (x, _) -> { ctx with vars = x :: ctx.vars }
+           | Decl (x, _) -> { ctx with vars = SSet.add x ctx.vars }
            | _ -> ctx)
          ctx block)
   and check_stmt ctx s =
@@ -99,7 +107,7 @@ let check_program program =
     match s.sdesc with
     | Decl (_, e) -> check_expr ctx loc e
     | Assign (x, e) ->
-        if not (List.mem x ctx.vars) then
+        if not (SSet.mem x ctx.vars) then
           add Error loc (Printf.sprintf "assignment to undeclared variable '%s'" x);
         check_expr ctx loc e
     | If (c, bt, bf) ->
@@ -121,13 +129,13 @@ let check_program program =
         let ctx' =
           if ctx.in_parallel > 0 then { ctx with in_divergent = true } else ctx
         in
-        check_block { ctx' with vars = x :: ctx'.vars } b
+        check_block { ctx' with vars = SSet.add x ctx'.vars } b
     | Return ->
         if ctx.in_parallel > 0 || ctx.in_worksharing || ctx.in_single_like then
           add Error loc "'return' may not appear inside an OpenMP construct"
     | Call (f, args) -> (
         List.iter (check_expr ctx loc) args;
-        match find_func program f with
+        match Hashtbl.find_opt ftbl f with
         | None -> add Error loc (Printf.sprintf "call to undefined function '%s'" f)
         | Some callee ->
             if List.length callee.params <> List.length args then
@@ -141,14 +149,14 @@ let check_program program =
         check_expr ctx loc dest;
         check_expr ctx loc tag
     | Recv { target; src; tag } ->
-        if not (List.mem target ctx.vars) then
+        if not (SSet.mem target ctx.vars) then
           add Error loc
             (Printf.sprintf "receive into undeclared variable '%s'" target);
         check_expr ctx loc src;
         check_expr ctx loc tag
     | Coll (target, c) ->
         (match target with
-        | Some x when not (List.mem x ctx.vars) ->
+        | Some x when not (SSet.mem x ctx.vars) ->
             add Error loc
               (Printf.sprintf "collective result assigned to undeclared variable '%s'" x)
         | Some _ | None -> ());
@@ -191,13 +199,13 @@ let check_program program =
         check_expr ctx loc lo;
         check_expr ctx loc hi;
         (match reduction with
-        | Some (_, x) when not (List.mem x ctx.vars) ->
+        | Some (_, x) when not (SSet.mem x ctx.vars) ->
             add Error loc
               (Printf.sprintf
                  "reduction variable '%s' is not declared in the enclosing scope" x)
         | Some _ | None -> ());
         check_block
-          { ctx with in_worksharing = true; vars = var :: ctx.vars }
+          { ctx with in_worksharing = true; vars = SSet.add var ctx.vars }
           body
     | Omp_sections { nowait; sections } ->
         check_worksharing_nesting ctx loc "sections";

@@ -1,0 +1,35 @@
+(** Bounded per-function summary cache.
+
+    Maps a {!Hash} key to the function it was computed from (kept for the
+    collision guard and location relocation) and its
+    {!Parcoach.Driver.func_report}.  Thread-safe: daemon pool workers
+    share one cache.  Eviction is FIFO over insertion order once
+    [capacity] entries are exceeded. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;
+}
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 summaries. *)
+
+(** Lookup; counts a hit or a miss. *)
+val find : t -> string -> (Minilang.Ast.func * Parcoach.Driver.func_report) option
+
+val add : t -> string -> Minilang.Ast.func -> Parcoach.Driver.func_report -> unit
+
+(** Refresh a live entry in place (no-op when the key is absent); used to
+    re-anchor a cached summary on the latest source layout so repeated
+    hits at a stable layout skip relocation. *)
+val replace :
+  t -> string -> Minilang.Ast.func -> Parcoach.Driver.func_report -> unit
+
+val stats : t -> stats
+
+(** Drop every entry (stats are reset too). *)
+val clear : t -> unit

@@ -1,0 +1,106 @@
+open Minilang
+
+type chunk = { text : string; line : int; col : int }
+type split = { clean : bool; chunks : chunk list }
+
+(* Single character scan.  The grammar has no string literals, so the
+   only lexical islands are the two comment forms; outside them every
+   '{'/'}' is a real brace.  A top-level function necessarily starts
+   with the keyword [func] at brace depth 0. *)
+let split source =
+  let n = String.length source in
+  let boundaries = ref [] in
+  (* (offset, line, col), reversed *)
+  let clean = ref true in
+  let depth = ref 0 in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let advance () =
+    (if source.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '/' && !i + 1 < n && source.[!i + 1] = '/' then begin
+      (* line comment: skip to end of line *)
+      while !i < n && source.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if c = '/' && !i + 1 < n && source.[!i + 1] = '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if source.[!i] = '*' && !i + 1 < n && source.[!i + 1] = '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then clean := false
+    end
+    else if c = '{' then begin
+      incr depth;
+      advance ()
+    end
+    else if c = '}' then begin
+      decr depth;
+      if !depth < 0 then clean := false;
+      advance ()
+    end
+    else if
+      !depth = 0 && c = 'f'
+      && !i + 4 <= n
+      && String.sub source !i 4 = "func"
+      && ((not (!i + 4 < n)) || not (is_ident source.[!i + 4]))
+      && (!i = 0 || not (is_ident source.[!i - 1]))
+    then begin
+      boundaries := (!i, !line, !col) :: !boundaries;
+      advance ();
+      advance ();
+      advance ();
+      advance ()
+    end
+    else begin
+      (* Anything but whitespace at depth 0 outside a function chunk is
+         not ours to slice (stray tokens before the first [func], or
+         after a closing brace): fall back to the whole-file parser so
+         its error reporting stands. *)
+      (if !depth = 0 && !boundaries = [] && not (c = ' ' || c = '\t' || c = '\n' || c = '\r')
+       then clean := false);
+      advance ()
+    end
+  done;
+  if !depth <> 0 then clean := false;
+  let bs = List.rev !boundaries in
+  let rec cut = function
+    | [] -> []
+    | (off, line, col) :: rest ->
+        let stop = match rest with (o, _, _) :: _ -> o | [] -> n in
+        { text = String.sub source off (stop - off); line; col } :: cut rest
+  in
+  { clean = !clean && bs <> []; chunks = cut bs }
+
+let shift_func ~file ~line ~col f =
+  let line0 = line and col0 = col in
+  let reloc (l : Loc.t) =
+    if Loc.is_none l then l
+    else if l.line = 1 then { Loc.file; line = line0; col = l.col + col0 - 1 }
+    else { Loc.file; line = l.line + line0 - 1; col = l.col }
+  in
+  let f =
+    Ast.map_blocks
+      (List.map (fun (s : Ast.stmt) -> { s with sloc = reloc s.sloc }))
+      f
+  in
+  { f with floc = reloc f.floc }

@@ -1,0 +1,278 @@
+(** Content hashing for the summary cache (see the interface).
+
+    The serialisation writes one tag character per constructor plus
+    length-prefixed strings into a buffer, ignoring every {!Loc.t}, and
+    digests the bytes (MD5 via [Digest]).  Tags make the encoding
+    prefix-free enough that structurally different ASTs cannot collide by
+    concatenation; the final guard against digest collisions is the
+    cache's structural {!Minilang.Ast.equal_func} check on hit. *)
+
+open Minilang
+
+let add_str buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let add_int buf n =
+  Buffer.add_char buf '#';
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ';'
+
+let add_bool buf b = Buffer.add_char buf (if b then 'T' else 'F')
+
+let unop_tag = function Ast.Neg -> 'n' | Ast.Not -> '!'
+
+let binop_tag = function
+  | Ast.Add -> '+'
+  | Ast.Sub -> '-'
+  | Ast.Mul -> '*'
+  | Ast.Div -> '/'
+  | Ast.Mod -> '%'
+  | Ast.Eq -> '='
+  | Ast.Ne -> 'e'
+  | Ast.Lt -> '<'
+  | Ast.Le -> 'l'
+  | Ast.Gt -> '>'
+  | Ast.Ge -> 'g'
+  | Ast.And -> '&'
+  | Ast.Or -> '|'
+
+let rec add_expr buf = function
+  | Ast.Int n ->
+      Buffer.add_char buf 'I';
+      add_int buf n
+  | Ast.Bool b ->
+      Buffer.add_char buf 'B';
+      add_bool buf b
+  | Ast.Var x ->
+      Buffer.add_char buf 'V';
+      add_str buf x
+  | Ast.Unop (op, e) ->
+      Buffer.add_char buf 'U';
+      Buffer.add_char buf (unop_tag op);
+      add_expr buf e
+  | Ast.Binop (op, a, b) ->
+      Buffer.add_char buf 'O';
+      Buffer.add_char buf (binop_tag op);
+      add_expr buf a;
+      add_expr buf b
+  | Ast.Rank -> Buffer.add_char buf 'r'
+  | Ast.Size -> Buffer.add_char buf 's'
+  | Ast.Tid -> Buffer.add_char buf 't'
+  | Ast.Nthreads -> Buffer.add_char buf 'h'
+
+let add_expr_opt buf = function
+  | None -> Buffer.add_char buf '0'
+  | Some e ->
+      Buffer.add_char buf '1';
+      add_expr buf e
+
+let add_str_opt buf = function
+  | None -> Buffer.add_char buf '0'
+  | Some s ->
+      Buffer.add_char buf '1';
+      add_str buf s
+
+let add_rop buf op = add_str buf (Ast.reduce_op_name op)
+
+let add_collective buf c =
+  add_str buf (Ast.collective_name c);
+  match c with
+  | Ast.Barrier -> ()
+  | Ast.Bcast { root; value }
+  | Ast.Gather { root; value }
+  | Ast.Scatter { root; value } ->
+      add_expr buf root;
+      add_expr buf value
+  | Ast.Reduce { op; root; value } ->
+      add_rop buf op;
+      add_expr buf root;
+      add_expr buf value
+  | Ast.Allreduce { op; value }
+  | Ast.Scan { op; value }
+  | Ast.Reduce_scatter { op; value } ->
+      add_rop buf op;
+      add_expr buf value
+  | Ast.Allgather { value } | Ast.Alltoall { value } -> add_expr buf value
+
+let add_check buf = function
+  | Ast.Cc_next_collective { color; coll_name } ->
+      Buffer.add_char buf 'C';
+      add_int buf color;
+      add_str buf coll_name
+  | Ast.Cc_return -> Buffer.add_char buf 'R'
+  | Ast.Assert_monothread { region } ->
+      Buffer.add_char buf 'M';
+      add_int buf region
+  | Ast.Count_enter { region } ->
+      Buffer.add_char buf 'E';
+      add_int buf region
+  | Ast.Count_exit { region } ->
+      Buffer.add_char buf 'X';
+      add_int buf region
+
+let rec add_stmt buf s =
+  match s.Ast.sdesc with
+  | Ast.Decl (x, e) ->
+      Buffer.add_char buf 'd';
+      add_str buf x;
+      add_expr buf e
+  | Ast.Assign (x, e) ->
+      Buffer.add_char buf 'a';
+      add_str buf x;
+      add_expr buf e
+  | Ast.If (c, bt, bf) ->
+      Buffer.add_char buf 'i';
+      add_expr buf c;
+      add_block buf bt;
+      add_block buf bf
+  | Ast.While (c, b) ->
+      Buffer.add_char buf 'w';
+      add_expr buf c;
+      add_block buf b
+  | Ast.For (x, lo, hi, b) ->
+      Buffer.add_char buf 'f';
+      add_str buf x;
+      add_expr buf lo;
+      add_expr buf hi;
+      add_block buf b
+  | Ast.Return -> Buffer.add_char buf 'q'
+  | Ast.Call (g, args) ->
+      Buffer.add_char buf 'c';
+      add_str buf g;
+      add_int buf (List.length args);
+      List.iter (add_expr buf) args
+  | Ast.Compute e ->
+      Buffer.add_char buf 'k';
+      add_expr buf e
+  | Ast.Print e ->
+      Buffer.add_char buf 'p';
+      add_expr buf e
+  | Ast.Coll (tgt, c) ->
+      Buffer.add_char buf 'L';
+      add_str_opt buf tgt;
+      add_collective buf c
+  | Ast.Send { value; dest; tag } ->
+      Buffer.add_char buf 'S';
+      add_expr buf value;
+      add_expr buf dest;
+      add_expr buf tag
+  | Ast.Recv { target; src; tag } ->
+      Buffer.add_char buf 'v';
+      add_str buf target;
+      add_expr buf src;
+      add_expr buf tag
+  | Ast.Omp_parallel { num_threads; body } ->
+      Buffer.add_char buf 'P';
+      add_expr_opt buf num_threads;
+      add_block buf body
+  | Ast.Omp_single { nowait; body } ->
+      Buffer.add_char buf '1';
+      add_bool buf nowait;
+      add_block buf body
+  | Ast.Omp_master body ->
+      Buffer.add_char buf 'm';
+      add_block buf body
+  | Ast.Omp_critical (name, body) ->
+      Buffer.add_char buf 'x';
+      add_str_opt buf name;
+      add_block buf body
+  | Ast.Omp_barrier -> Buffer.add_char buf 'b'
+  | Ast.Omp_for { var; lo; hi; nowait; reduction; body } -> (
+      Buffer.add_char buf 'o';
+      add_str buf var;
+      add_expr buf lo;
+      add_expr buf hi;
+      add_bool buf nowait;
+      (match reduction with
+      | None -> Buffer.add_char buf '0'
+      | Some (op, x) ->
+          Buffer.add_char buf '1';
+          add_rop buf op;
+          add_str buf x);
+      add_block buf body)
+  | Ast.Omp_sections { nowait; sections } ->
+      Buffer.add_char buf 'z';
+      add_bool buf nowait;
+      add_int buf (List.length sections);
+      List.iter (add_block buf) sections
+  | Ast.Check ck ->
+      Buffer.add_char buf 'K';
+      add_check buf ck
+
+and add_block buf b =
+  Buffer.add_char buf '{';
+  add_int buf (List.length b);
+  List.iter (add_stmt buf) b;
+  Buffer.add_char buf '}'
+
+let func_digest (f : Ast.func) =
+  let buf = Buffer.create 256 in
+  add_str buf f.Ast.fname;
+  add_int buf (List.length f.Ast.params);
+  List.iter (add_str buf) f.Ast.params;
+  add_block buf f.Ast.body;
+  Digest.string (Buffer.contents buf)
+
+let options_digest (o : Parcoach.Driver.options) =
+  let buf = Buffer.create 64 in
+  add_int buf (List.length o.Parcoach.Driver.initial_word);
+  List.iter
+    (fun tok -> add_str buf (Parcoach.Pword.token_to_string tok))
+    o.Parcoach.Driver.initial_word;
+  add_str buf (Mpisim.Thread_level.to_string o.Parcoach.Driver.provided_level);
+  add_bool buf o.Parcoach.Driver.taint_filter;
+  add_bool buf o.Parcoach.Driver.interprocedural;
+  add_bool buf o.Parcoach.Driver.races;
+  Digest.string (Buffer.contents buf)
+
+(* Names transitively reachable from [fname] through call sites, sorted.
+   Unknown callees (rejected by the validator anyway) are skipped;
+   recursion terminates because visited names are never re-entered. *)
+let reachable callees_of fname =
+  let seen = Hashtbl.create 16 in
+  let rec visit g =
+    if not (Hashtbl.mem seen g) then begin
+      Hashtbl.replace seen g ();
+      List.iter visit (callees_of g)
+    end
+  in
+  List.iter visit (callees_of fname);
+  List.sort String.compare (Hashtbl.fold (fun g () acc -> g :: acc) seen [])
+
+let keys ?digest ~options (program : Ast.program) =
+  let func_digest f =
+    match digest with
+    | Some d -> ( match d f with Some x -> x | None -> func_digest f)
+    | None -> func_digest f
+  in
+  let digests = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace digests f.Ast.fname (func_digest f))
+    program.Ast.funcs;
+  let callee_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace callee_tbl f.Ast.fname
+        (List.sort_uniq String.compare
+           (List.filter
+              (Hashtbl.mem digests)
+              (Parcoach.Callgraph.callees f))))
+    program.Ast.funcs;
+  let callees_of g =
+    Option.value ~default:[] (Hashtbl.find_opt callee_tbl g)
+  in
+  let odig = options_digest options in
+  List.map
+    (fun f ->
+      let buf = Buffer.create 128 in
+      add_str buf (Hashtbl.find digests f.Ast.fname);
+      add_str buf odig;
+      List.iter
+        (fun g ->
+          add_str buf g;
+          add_str buf (Hashtbl.find digests g))
+        (reachable callees_of f.Ast.fname);
+      (f, Digest.string (Buffer.contents buf)))
+    program.Ast.funcs

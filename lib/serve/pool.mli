@@ -1,0 +1,60 @@
+(** Bounded worker pool of OCaml 5 domains, in the direct style of eio's
+    concurrency primitives: a write-once {!Promise} for results, a
+    bounded blocking {!Stream} as the work queue, and a fixed set of
+    worker domains draining it.  The daemon submits one job per request;
+    [jobs:1] still runs requests off the calling thread but one at a
+    time, so responses are deterministic per request whatever the pool
+    width. *)
+
+module Promise : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  (** Resolve with a value; subsequent resolutions are ignored. *)
+  val resolve : 'a t -> 'a -> unit
+
+  (** Resolve with an exception, re-raised by {!await}. *)
+  val reject : 'a t -> exn -> unit
+
+  (** Block until resolved; returns the value or re-raises. *)
+  val await : 'a t -> 'a
+
+  val is_resolved : 'a t -> bool
+end
+
+module Stream : sig
+  type 'a t
+
+  (** [create capacity]: a bounded FIFO; {!push} blocks while full. *)
+  val create : int -> 'a t
+
+  (** @raise Invalid_argument if the stream is closed. *)
+  val push : 'a t -> 'a -> unit
+
+  (** Blocking pop; [None] once the stream is closed and drained. *)
+  val pop : 'a t -> 'a option
+
+  (** Close: pushes fail, pops drain the backlog then return [None]. *)
+  val close : 'a t -> unit
+
+  val length : 'a t -> int
+end
+
+type t
+
+(** [create ~jobs ()] spawns [jobs] worker domains ([jobs >= 1]). *)
+val create : ?queue_capacity:int -> jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** Enqueue a job; the promise resolves with its result (or exception)
+    once a worker has run it. *)
+val submit : t -> (unit -> 'a) -> 'a Promise.t
+
+(** Run [f] on the pool and block for its result. *)
+val run : t -> (unit -> 'a) -> 'a
+
+(** Drain the queue, stop the workers and join their domains.
+    Idempotent. *)
+val shutdown : t -> unit
