@@ -27,8 +27,8 @@ let read_program file bench =
       exit 2
 
 let run file bench ranks threads seed round_robin max_steps instrument jobs
-    inject show_trace must_check level explore explore_mode branch_depth budget
-    explore_jobs interp =
+    inject show_trace must_check overlay overlay_fanout level explore
+    explore_mode branch_depth budget explore_jobs interp =
   let program = read_program file bench in
   let issues = Minilang.Validate.check_program program in
   List.iter (fun i -> Fmt.epr "%s@." (Minilang.Validate.issue_to_string i)) issues;
@@ -92,9 +92,31 @@ let run file bench ranks threads seed round_robin max_steps instrument jobs
     else if summary.Interp.Explore.aborted > 0 then exit 4
     else exit 0
   end;
+  (* --must-check is the historical spelling of --overlay posthoc; an
+     explicit --overlay wins when both are given. *)
+  let overlay_mode =
+    match overlay with
+    | Some m -> Some m
+    | None -> if must_check then Some `Posthoc else None
+  in
+  (* Online checking needs the engine hook of the compiled core; the
+     reference interpreter retains full traces, which are streamed through
+     the same checker after the run. *)
+  let stream_checker =
+    match (overlay_mode, interp) with
+    | Some `Stream, `Compiled ->
+        Some (Mustlike.Stream.create ~fanout:overlay_fanout ~nranks:ranks ())
+    | _ -> None
+  in
   let result =
     match interp with
-    | `Compiled -> Interp.Sim.run ~config program
+    | `Compiled ->
+        Interp.Sim.run ~config
+          ?on_engine:
+            (Option.map
+               (fun t engine -> Mustlike.Stream.attach_engine t engine)
+               stream_checker)
+          program
     | `Reference -> Interp.Sim.run_reference ~config program
   in
   Fmt.pr "outcome: %a@." Interp.Sim.pp_outcome result.Interp.Sim.outcome;
@@ -111,11 +133,32 @@ let run file bench ranks threads seed round_robin max_steps instrument jobs
       (fun (rank, tid, value) ->
         Fmt.pr "  [rank %d thread %d] print %d@." rank tid value)
       (Interp.Sim.trace result);
-  if must_check then begin
-    let report = Mustlike.Overlay.check_engine result.Interp.Sim.engine in
-    Fmt.pr "MUST-like post-mortem trace check:@.%s@."
-      (Mustlike.Overlay.report_to_string report)
-  end;
+  (match overlay_mode with
+  | None -> ()
+  | Some `Posthoc ->
+      let report =
+        Mustlike.Overlay.check_engine ~fanout:overlay_fanout
+          result.Interp.Sim.engine
+      in
+      Fmt.pr "MUST-like post-mortem trace check:@.%s@."
+        (Mustlike.Overlay.report_to_string report)
+  | Some `Stream ->
+      let report, stats =
+        match stream_checker with
+        | Some t -> Mustlike.Stream.result t
+        | None ->
+            Mustlike.Stream.check_traces ~fanout:overlay_fanout
+              (Mpisim.Engine.all_traces result.Interp.Sim.engine)
+      in
+      Fmt.pr "MUST-like streaming trace check:@.%s@."
+        (Mustlike.Overlay.report_to_string report);
+      Fmt.pr
+        "streaming: %d event(s) checked, %d drained, %d batch(es), max batch \
+         fill %d, max in-flight %d, %d interned signature(s)@."
+        stats.Mustlike.Stream.events stats.Mustlike.Stream.drained
+        stats.Mustlike.Stream.batches stats.Mustlike.Stream.max_batch_fill
+        stats.Mustlike.Stream.max_in_flight
+        stats.Mustlike.Stream.distinct_signatures);
   match result.Interp.Sim.outcome with
   | Interp.Sim.Finished -> ()
   | Interp.Sim.Aborted _ -> exit 4
@@ -210,7 +253,41 @@ let must_check =
     & info [ "must-check" ]
         ~doc:
           "After the run, validate the recorded per-rank collective traces \
-           with the MUST-style tree-overlay checker.")
+           with the MUST-style tree-overlay checker (same as $(b,--overlay) \
+           $(i,posthoc)).")
+
+let overlay =
+  Arg.(
+    value
+    & opt (some (enum [ ("stream", `Stream); ("posthoc", `Posthoc) ])) None
+    & info [ "overlay" ] ~docv:"MODE"
+        ~doc:
+          "Check collective consistency with the MUST-style overlay: \
+           $(i,stream) checks events online through bounded per-rank \
+           mailboxes as the simulation runs (no full-trace retention with \
+           the compiled core); $(i,posthoc) checks the recorded traces after \
+           the run.")
+
+let overlay_fanout =
+  let cv =
+    Arg.conv
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some n when n >= 2 -> Ok n
+          | Some n ->
+              Error
+                (`Msg (Printf.sprintf "overlay fanout must be >= 2 (got %d)" n))
+          | None -> Error (`Msg (Printf.sprintf "invalid overlay fanout %S" s))
+        ),
+        Fmt.int )
+  in
+  Arg.(
+    value & opt cv 2
+    & info [ "overlay-fanout" ] ~docv:"N"
+        ~doc:
+          "Fan-out of the overlay tree used by $(b,--overlay) and \
+           $(b,--must-check) (>= 2; the rank count gives a centralized \
+           Marmot-like checker).")
 
 let level =
   let cv =
@@ -304,7 +381,7 @@ let cmd =
     Term.(
       const run $ file $ bench $ ranks $ threads $ seed $ round_robin
       $ max_steps $ instrument $ jobs $ inject $ show_trace $ must_check
-      $ level $ explore $ explore_mode $ branch_depth $ budget $ explore_jobs
-      $ interp)
+      $ overlay $ overlay_fanout $ level $ explore $ explore_mode
+      $ branch_depth $ budget $ explore_jobs $ interp)
 
 let () = exit (Cmd.eval cmd)

@@ -1612,7 +1612,7 @@ let make (program : Ast.program) : compiled = Compile.lower program
     the source program.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-let run_compiled ?(config = default_config) ?probe ?race ?recorder
+let run_compiled ?(config = default_config) ?probe ?race ?recorder ?on_engine
     (prog : compiled) =
   let entry =
     match Compile.find prog config.entry with
@@ -1651,6 +1651,9 @@ let run_compiled ?(config = default_config) ?probe ?race ?recorder
       events = (match recorder with Some d -> Some (Dpor.emit d) | None -> None);
     }
   in
+  (* Online consumers (e.g. the streaming overlay checker) get the engine
+     before any rank runs, so no collective arrival escapes their hook. *)
+  (match on_engine with None -> () | Some f -> f core.engine);
   let fresh_fid =
     match recorder with
     | Some d -> fun () -> Dpor.fresh_fid d
@@ -1775,8 +1778,8 @@ let run_compiled ?(config = default_config) ?probe ?race ?recorder
     degree record is capped at the same depth.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
-let run ?config ?probe ?race ?recorder (program : Ast.program) =
-  run_compiled ?config ?probe ?race ?recorder (make program)
+let run ?config ?probe ?race ?recorder ?on_engine (program : Ast.program) =
+  run_compiled ?config ?probe ?race ?recorder ?on_engine (make program)
 
 (** Trace of [print] events in execution order. *)
 let trace (result : result) = List.rev result.stats.trace

@@ -112,17 +112,22 @@ val make : Minilang.Ast.program -> compiled
     parameters. *)
 val run_compiled :
   ?config:config -> ?probe:probe -> ?race:Raceck.t ->
-  ?recorder:Dpor.recorder -> compiled -> result
+  ?recorder:Dpor.recorder -> ?on_engine:(Mpisim.Engine.t -> unit) ->
+  compiled -> result
 
 (** Execute a validated program with the compiled core:
     {!make} + {!run_compiled}.  [probe], when given, records state
     fingerprints for the first [probe_depth] steps; [race] attaches the
-    dynamic race oracle; [recorder] the DPOR step recorder.
+    dynamic race oracle; [recorder] the DPOR step recorder; [on_engine]
+    receives the freshly created MPI engine before any rank runs, so
+    online consumers (e.g. {!Mpisim.Engine.subscribe} hooks) see every
+    collective arrival.
     @raise Invalid_argument if the entry function is missing or takes
     parameters. *)
 val run :
   ?config:config -> ?probe:probe -> ?race:Raceck.t ->
-  ?recorder:Dpor.recorder -> Minilang.Ast.program -> result
+  ?recorder:Dpor.recorder -> ?on_engine:(Mpisim.Engine.t -> unit) ->
+  Minilang.Ast.program -> result
 
 (** The original AST tree-walker, kept as the equivalence oracle for the
     compiled core: same contract and observable behaviour (traces,

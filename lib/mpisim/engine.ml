@@ -54,8 +54,12 @@ type t = {
   nranks : int;
   slots : rank_call option array;
   mutable history : Coll.kind list;  (** Completed collectives, reversed. *)
-  traces : trace_event list array;  (** Per-rank arrival streams, reversed. *)
+  mutable traces : trace_event list array;
+      (** Per-rank arrival streams, reversed. *)
   stats : stats;
+  mutable hook : (rank:int -> trace_event -> unit) option;
+      (** Streaming subscriber, called on every recorded arrival. *)
+  mutable retain : bool;  (** Whether {!traces} accumulates events. *)
 }
 
 let create ~nranks =
@@ -66,9 +70,27 @@ let create ~nranks =
     history = [];
     traces = Array.make nranks [];
     stats = { completed = 0; cc_checks = 0; by_kind = [] };
+    hook = None;
+    retain = true;
   }
 
 let nranks t = t.nranks
+
+(** Subscribe a streaming consumer: [f ~rank event] runs synchronously on
+    every recorded (non-CC) arrival, in each rank's program order.  One
+    subscriber at a time; subscribing replaces the previous hook. *)
+let subscribe t f = t.hook <- Some f
+
+let unsubscribe t = t.hook <- None
+
+(** [set_retention t false] stops accumulating per-rank traces (and
+    drops what was recorded so far): a subscribed streaming checker then
+    bounds the job's checking memory instead of the full trace.
+    Post-hoc {!all_traces} sees only events recorded while retention was
+    on. *)
+let set_retention t retain =
+  if t.retain && not retain then t.traces <- Array.make t.nranks [];
+  t.retain <- retain
 
 (** Pending arrivals, for deadlock diagnostics. *)
 let pending t =
@@ -87,14 +109,17 @@ let arrive t ~rank ~cookie call =
         }
   | None ->
       t.slots.(rank) <- Some { rank; cookie; call };
-      if call.Coll.kind <> Coll.Cc_check then
-        t.traces.(rank) <-
+      if call.Coll.kind <> Coll.Cc_check then begin
+        let event =
           {
             signature = Coll.signature call;
             payload = call.Coll.payload;
             event_site = call.Coll.site;
           }
-          :: t.traces.(rank);
+        in
+        if t.retain then t.traces.(rank) <- event :: t.traces.(rank);
+        match t.hook with None -> () | Some f -> f ~rank event
+      end;
       Waiting
 
 let bump_kind stats kind =

@@ -100,17 +100,16 @@ let signature_string = function
   | Some (e : event) ->
       Mpisim.Coll.signature_to_string e.Mpisim.Engine.signature
 
-(* One checking round at stream position [pos].  Returns the messages used
-   and either the agreed signature or the localized divergence. *)
-let check_round tree (traces : event array array) pos =
+(* One overlay reduction over per-leaf contributions
+   [(node index, (signature description, ranks))] at stream position
+   [pos]: ascend layer by layer, merging equal signatures and localizing
+   the first conflicting node.  Returns the messages used and either the
+   agreed signature or the localized divergence.  This is the shared
+   core: the post-hoc checker runs it every round, the streaming checker
+   ({!Stream}) replays it only on the diverging round it detects online,
+   so both produce identical reports. *)
+let reduce_round tree ~pos initial =
   let messages = ref 0 in
-  (* Each leaf contributes its pos-th event (None if exhausted). *)
-  let initial =
-    List.init tree.nranks (fun rank ->
-        let tr = traces.(rank) in
-        let v = if pos < Array.length tr then Some tr.(pos) else None in
-        (rank, (signature_string v, [ rank ])))
-  in
   let rec ascend layer items =
     if layer >= Array.length tree.layers then
       (* Root reached with a single aggregated signature. *)
@@ -125,14 +124,17 @@ let check_round tree (traces : event array array) pos =
       List.iter
         (fun (parent, contributions) ->
           messages := !messages + List.length contributions;
-          (* Merge contributions with equal signatures. *)
+          (* Merge contributions with equal signatures.  Accumulate with
+             reversed prepends and sort once below: the final rank lists
+             are sorted anyway, and [existing @ ranks] here was quadratic
+             in the subtree size on wide (central-topology) nodes. *)
           let merged = Hashtbl.create 4 in
           List.iter
             (fun (s, ranks) ->
               let existing =
                 Option.value ~default:[] (Hashtbl.find_opt merged s)
               in
-              Hashtbl.replace merged s (existing @ ranks))
+              Hashtbl.replace merged s (List.rev_append ranks existing))
             contributions;
           let distinct =
             Hashtbl.fold (fun s ranks acc -> (s, List.sort Int.compare ranks) :: acc) merged []
@@ -150,6 +152,17 @@ let check_round tree (traces : event array array) pos =
   in
   let result = ascend 0 initial in
   (result, !messages)
+
+(* One checking round at stream position [pos]: each leaf contributes its
+   pos-th event (<no event> if exhausted). *)
+let check_round tree (traces : event array array) pos =
+  let initial =
+    List.init tree.nranks (fun rank ->
+        let tr = traces.(rank) in
+        let v = if pos < Array.length tr then Some tr.(pos) else None in
+        (rank, (signature_string v, [ rank ])))
+  in
+  reduce_round tree ~pos initial
 
 (** Check per-rank traces against each other over the overlay.
 

@@ -40,6 +40,19 @@ type report = {
   tree_max_fan_in : int;
 }
 
+(** One overlay reduction over per-leaf contributions
+    [(node index, (signature description, ranks))] at stream position
+    [pos]: ascend layer by layer, merging equal signatures, and either
+    return the agreed signature or localize the first conflicting node.
+    Also returns the overlay messages the round used.  Shared core of
+    the post-hoc checker and the streaming checker's ({!Stream})
+    divergence localization, which keeps their reports identical. *)
+val reduce_round :
+  tree ->
+  pos:int ->
+  (int * (string * int list)) list ->
+  (string, divergence) result * int
+
 (** Check that all per-rank streams carry the same ordered signature
     sequence; the first divergence is localized in the overlay. *)
 val check : ?fanout:int -> event list array -> report
