@@ -1923,6 +1923,213 @@ let serve_section () =
   Fmt.pr "@.wrote BENCH_serve.json@."
 
 (* ------------------------------------------------------------------ *)
+(* farm: corpus-scale differential fuzzing                             *)
+(* ------------------------------------------------------------------ *)
+
+let farm_section () =
+  Fmt.pr "@.== farm: corpus-scale differential fuzzing ==@.@.";
+  let smoke = Sys.getenv_opt "BENCH_FARM_SMOKE" <> None in
+  (* BENCH_FARM_CORPUS overrides the corpus size (programs, rounded up
+     to whole families); the default non-smoke corpus is 2400 programs,
+     above the 2000-program gate floor. *)
+  let families =
+    match Sys.getenv_opt "BENCH_FARM_CORPUS" with
+    | Some s -> (
+        try max 1 ((int_of_string s + 5) / 6) with Failure _ -> 400)
+    | None -> if smoke then 25 else 400
+  in
+  let reps = if smoke then 1 else 3 in
+  let spec = { Farm.Pipeline.default_spec with families; variants = 6 } in
+  let entries = Farm.Pipeline.fingerprinted (Farm.Pipeline.corpus spec) in
+  let n = Array.length entries in
+  let jobs = min 8 (Domain.recommended_domain_count ()) in
+  let shards = 8 and batch = 16 in
+  Fmt.pr
+    "corpus: %d programs (%d families x %d variants), %d scheduler seed(s) \
+     per program, %d domain(s)@."
+    n spec.Farm.Pipeline.families spec.Farm.Pipeline.variants
+    (List.length spec.Farm.Pipeline.sim.Farm.Oracle.seeds)
+    jobs;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let best_of k f =
+    let result = ref None in
+    let best = ref infinity in
+    for _ = 1 to k do
+      let r, dt = time f in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  (* The serial baseline: the CLI-equivalent pipeline (re-parse,
+     re-validate, re-analyze and render per invocation). *)
+  let serial, serial_s =
+    best_of reps (fun () -> Farm.Pipeline.run_serial_entries spec entries)
+  in
+  (* The farm at one domain isolates the algorithmic wins (dedup, shared
+     ASTs, summary-cache reuse, demand-driven CC, one lowering per
+     form); the [jobs]-domain run is the configuration the gate holds. *)
+  let farm1, farm1_s =
+    best_of reps (fun () ->
+        Farm.Pipeline.run_entries ~jobs:1 ~shards ~batch spec entries)
+  in
+  let farmj, farmj_s =
+    if jobs = 1 then (farm1, farm1_s)
+    else
+      best_of reps (fun () ->
+          Farm.Pipeline.run_entries ~jobs ~shards ~batch spec entries)
+  in
+  (* One instrumented run for the per-stage breakdown. *)
+  let tm = Parcoach.Timings.create () in
+  let (_ : Farm.Pipeline.result) =
+    Farm.Pipeline.run_entries ~timings:tm ~jobs:1 ~shards ~batch spec entries
+  in
+  Fmt.pr "@.farm per-stage wall-clock (1 domain):@.%a" Parcoach.Timings.pp tm;
+  (* Identity gates: equal verdicts for every runner and domain count. *)
+  Array.iteri
+    (fun i (v : Farm.Pipeline.verdict) ->
+      let s = serial.Farm.Pipeline.verdicts.(i) in
+      if not (Farm.Oracle.obs_agree v.Farm.Pipeline.obs s.Farm.Pipeline.obs)
+      then
+        Fmt.failwith "farm: entry %d: farm and serial observations disagree"
+          i;
+      if v.Farm.Pipeline.obs <> farmj.Farm.Pipeline.verdicts.(i).Farm.Pipeline.obs
+      then
+        Fmt.failwith "farm: entry %d: verdict depends on the domain count" i)
+    farm1.Farm.Pipeline.verdicts;
+  Fmt.pr
+    "@.identity gate: %d verdicts agree across serial, 1-domain and \
+     %d-domain runs@."
+    n jobs;
+  (* Soundness gate: a clean checker produces zero differential
+     violations over the whole corpus. *)
+  let nviol = List.length farm1.Farm.Pipeline.violations in
+  if nviol <> 0 then
+    Fmt.failwith "farm: %d differential violation(s) on a clean checker"
+      nviol;
+  Fmt.pr "violation gate: 0 differential violations over %d programs@." n;
+  let st = farm1.Farm.Pipeline.stats in
+  Fmt.pr
+    "dedup: %d unique (%d duplicates); cache: %d hit(s), %d miss(es)@."
+    st.Farm.Pipeline.unique st.Farm.Pipeline.duplicates
+    st.Farm.Pipeline.cache_hits st.Farm.Pipeline.cache_misses;
+  let pps dt = float_of_int n /. dt in
+  let speedup = serial_s /. farmj_s in
+  Fmt.pr
+    "@.%-22s | %10s | %12s@." "pipeline" "wall s" "programs/s";
+  Fmt.pr "%s@." (String.make 50 '-');
+  Fmt.pr "%-22s | %10.3f | %12.1f@." "serial (CLI-equiv)" serial_s
+    (pps serial_s);
+  Fmt.pr "%-22s | %10.3f | %12.1f@." "farm (1 domain)" farm1_s (pps farm1_s);
+  Fmt.pr "%-22s | %10.3f | %12.1f@."
+    (Printf.sprintf "farm (%d domain(s))" jobs)
+    farmj_s (pps farmj_s);
+  Fmt.pr "@.throughput gate: farm %.2fx serial (>= 6x required)@." speedup;
+  if (not smoke) && speedup < 6. then
+    Fmt.failwith "farm: throughput %.2fx is below the 6x gate" speedup;
+  (* Detection drill: a deliberately weakened checker (blind to
+     collective-mismatch warnings) must produce violations, and each
+     must delta-debug to a reproducer of at most 30 lines. *)
+  let drill_spec =
+    {
+      spec with
+      Farm.Pipeline.families = (if smoke then 10 else 40);
+      handicap = Some Farm.Oracle.Blind_mismatch;
+    }
+  in
+  let drill_entries =
+    Farm.Pipeline.fingerprinted (Farm.Pipeline.corpus drill_spec)
+  in
+  let drill =
+    Farm.Pipeline.run_entries ~jobs:1 ~shards ~batch drill_spec drill_entries
+  in
+  if drill.Farm.Pipeline.violations = [] then
+    Fmt.failwith "farm: the blind-mismatch drill produced no violations";
+  let repros =
+    Farm.Pipeline.minimized_reproducers drill_spec drill drill_entries
+  in
+  let repro_lines =
+    List.map
+      (fun ((_ : Farm.Pipeline.entry), (v : Farm.Oracle.violation), _, p) ->
+        let lines =
+          List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' (Minilang.Pretty.program_to_string p))
+        in
+        (v.Farm.Oracle.vkind, List.length lines))
+      repros
+  in
+  List.iter
+    (fun (vkind, lines) ->
+      Fmt.pr "drill: %s minimized to %d line(s)@." vkind lines;
+      if lines > 30 then
+        Fmt.failwith "farm: %s reproducer is %d lines (> 30)" vkind lines)
+    repro_lines;
+  Fmt.pr
+    "drill gate: weakened checker caught with %d violation(s), reproducers \
+     <= 30 lines@."
+    (List.length drill.Farm.Pipeline.violations);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"section\": \"farm\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"programs\": %d,\n\
+      \  \"families\": %d,\n\
+      \  \"variants\": %d,\n\
+      \  \"sim_seeds\": %d,\n\
+      \  \"unique\": %d,\n\
+      \  \"duplicates\": %d,\n\
+      \  \"cache_hits\": %d,\n\
+      \  \"cache_misses\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"shards\": %d,\n\
+      \  \"batch\": %d,\n\
+      \  \"serial_s\": %.4f,\n\
+      \  \"farm_1domain_s\": %.4f,\n\
+      \  \"farm_s\": %.4f,\n\
+      \  \"serial_programs_per_sec\": %.1f,\n\
+      \  \"farm_programs_per_sec\": %.1f,\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"speedup_gate_6x\": %b,\n\
+      \  \"identity_vs_serial\": true,\n\
+      \  \"identity_across_domains\": true,\n\
+      \  \"violations\": %d,\n\
+      \  \"drill_violations\": %d,\n\
+      \  \"drill_reproducers\": [%s]\n\
+       }\n"
+      smoke n spec.Farm.Pipeline.families spec.Farm.Pipeline.variants
+      (List.length spec.Farm.Pipeline.sim.Farm.Oracle.seeds)
+      st.Farm.Pipeline.unique st.Farm.Pipeline.duplicates
+      st.Farm.Pipeline.cache_hits st.Farm.Pipeline.cache_misses jobs shards
+      batch serial_s farm1_s farmj_s (pps serial_s) (pps farmj_s) speedup
+      (speedup >= 6.) nviol
+      (List.length drill.Farm.Pipeline.violations)
+      (String.concat ", "
+         (List.map
+            (fun (vkind, lines) ->
+              Printf.sprintf "{ \"vkind\": %S, \"lines\": %d }" vkind lines)
+            repro_lines))
+  in
+  let write path =
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "wrote %s@." path
+  in
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  write "BENCH_farm.json";
+  write "BENCH_farm-latest.json";
+  write
+    (Printf.sprintf "BENCH_farm-%04d%02d%02d-%02d%02d%02d.json"
+       (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+       tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec)
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1943,6 +2150,7 @@ let sections =
     ("scaling", scaling_section);
     ("races", races_section);
     ("serve", serve_section);
+    ("farm", farm_section);
   ]
 
 let () =

@@ -29,9 +29,7 @@ let run file bench initial_multi level taint interproc races jobs json timings
   let tm =
     if timings then Some (Parcoach.Timings.create ()) else None
   in
-  let time phase f =
-    match tm with None -> f () | Some t -> Parcoach.Timings.record t phase f
-  in
+  let time phase f = Parcoach.Timings.record_opt tm phase f in
   let report_timings () =
     match tm with
     | None -> ()

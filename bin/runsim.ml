@@ -226,14 +226,10 @@ let inject =
   let bug_conv =
     Arg.conv
       ( (fun s ->
-          match s with
-          | "rank-divergence" -> Ok Benchsuite.Injector.Rank_divergence
-          | "into-parallel" -> Ok Benchsuite.Injector.Into_parallel
-          | "into-sections" -> Ok Benchsuite.Injector.Into_sections
-          | "operator-mismatch" -> Ok Benchsuite.Injector.Operator_mismatch
-          | "extra-collective" -> Ok Benchsuite.Injector.Extra_collective
-          | _ -> Error (`Msg (Printf.sprintf "unknown bug '%s'" s))),
-        fun ppf b -> Fmt.string ppf (Benchsuite.Injector.bug_name b) )
+          match Benchsuite.Injector.of_short_name s with
+          | Some bug -> Ok bug
+          | None -> Error (`Msg (Printf.sprintf "unknown bug '%s'" s))),
+        fun ppf b -> Fmt.string ppf (Benchsuite.Injector.short_name b) )
   in
   Arg.(
     value

@@ -30,6 +30,24 @@ let bug_name = function
   | Operator_mismatch -> "rank-dependent reduction operator"
   | Extra_collective -> "extra collective on one rank"
 
+let all =
+  [
+    Rank_divergence;
+    Into_parallel;
+    Into_sections;
+    Operator_mismatch;
+    Extra_collective;
+  ]
+
+let short_name = function
+  | Rank_divergence -> "rank-divergence"
+  | Into_parallel -> "into-parallel"
+  | Into_sections -> "into-sections"
+  | Operator_mismatch -> "operator-mismatch"
+  | Extra_collective -> "extra-collective"
+
+let of_short_name s = List.find_opt (fun b -> short_name b = s) all
+
 (** Number of collective call statements in [program]. *)
 let collective_count (program : Ast.program) =
   List.fold_left

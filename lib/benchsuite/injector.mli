@@ -11,6 +11,15 @@ type bug =
 
 val bug_name : bug -> string
 
+(** Every bug class, in declaration order (the fuzzing farm's fault axis). *)
+val all : bug list
+
+(** Stable CLI spelling ("rank-divergence", ...), shared by
+    [runsim --inject] and the farm's corpus manifests. *)
+val short_name : bug -> string
+
+val of_short_name : string -> bug option
+
 val collective_count : Minilang.Ast.program -> int
 
 (** @raise Invalid_argument if [index] is out of range. *)

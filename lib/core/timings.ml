@@ -31,6 +31,9 @@ let record t phase f =
       finish ();
       raise exn
 
+let record_opt t phase f =
+  match t with None -> f () | Some t -> record t phase f
+
 let entries t =
   Mutex.lock t.lock;
   let rows = t.rows in

@@ -15,6 +15,11 @@ val create : unit -> t
     raise is still recorded. *)
 val record : t -> string -> (unit -> 'a) -> 'a
 
+(** [record_opt tm phase f]: {!record} when [tm] is [Some], plain [f ()]
+    otherwise — the shape every optional [--timings] code path needs
+    (CLI drivers, the bench harness, the fuzzing farm). *)
+val record_opt : t option -> string -> (unit -> 'a) -> 'a
+
 (** Add [ns] nanoseconds to [phase] directly. *)
 val add_ns : t -> string -> float -> unit
 

@@ -1,0 +1,7 @@
+(** Structural program fingerprints (location-insensitive, built from
+    {!Serve.Hash.func_digest}) for corpus dedup and sharding. *)
+
+val program : Minilang.Ast.program -> string
+
+(** [shard ~shards fp]: stable shard index in [0, shards). *)
+val shard : shards:int -> string -> int

@@ -1,0 +1,236 @@
+(** Decision-trace program generator (see the interface).
+
+    Every random choice goes through {!choose}, which either draws from a
+    PRNG and records the decision, or replays a recorded trace.  Replay
+    folds out-of-range values into range and decodes an exhausted trace
+    as all-zero decisions, and every choice menu lists its simplest
+    option first — so the delta debugger can chop and zero the trace
+    freely: any array decodes, and "smaller array / smaller values"
+    means "simpler program". *)
+
+open Minilang
+open Minilang.Builder
+
+type case = {
+  trace : int array;
+  inject : (Benchsuite.Injector.bug * int) option;
+}
+
+type source =
+  | Fresh of Random.State.t * int list ref  (** draw and record *)
+  | Replay of int array * int ref  (** decode a trace *)
+
+let choose src n =
+  if n <= 1 then 0
+  else
+    match src with
+    | Fresh (rng, acc) ->
+        let d = Random.State.int rng n in
+        acc := d :: !acc;
+        d
+    | Replay (tr, pos) ->
+        let p = !pos in
+        if p >= Array.length tr then 0
+        else begin
+          incr pos;
+          ((tr.(p) mod n) + n) mod n
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pick src xs = List.nth xs (choose src (List.length xs))
+
+(* Rank-free, division-free expressions for assignments and conditions:
+   identical on every rank (absent data races), so conditionals stay
+   uniform and clean skeletons cannot diverge by construction. *)
+let uniform_expr src vars =
+  let base () =
+    match choose src 2 with 0 -> i (choose src 8) | _ -> v (pick src vars)
+  in
+  match choose src 3 with
+  | 0 -> base ()
+  | 1 -> base () +: base ()
+  | _ -> (base () *: i (1 + choose src 3)) -: i (choose src 4)
+
+let condition src vars = v (pick src vars) <: i (choose src 8)
+
+(* Collective payloads may depend on rank: values never influence
+   matching (the engine matches kind/operator/root), only the reduced
+   results. *)
+let payload src vars =
+  match choose src 3 with
+  | 0 -> i (choose src 5)
+  | 1 -> v (pick src vars)
+  | _ -> rank
+
+let reduce_op src =
+  match choose src 3 with 0 -> Ast.Rsum | 1 -> Ast.Rmax | _ -> Ast.Rmin
+
+(* The full collective palette, simplest first. *)
+let collective src vars =
+  let value () = payload src vars in
+  match choose src 10 with
+  | 0 -> barrier ()
+  | 1 -> allreduce ~op:(reduce_op src) (value ())
+  | 2 -> bcast ~root:(i 0) (value ())
+  | 3 -> allgather (value ())
+  | 4 -> reduce ~op:(reduce_op src) ~root:(i 0) (value ())
+  | 5 -> scan ~op:Ast.Rsum (value ())
+  | 6 -> alltoall (value ())
+  | 7 -> reduce_scatter ~op:Ast.Rsum (value ())
+  | 8 -> gather ~root:(i 0) (value ())
+  | _ -> scatter ~root:(i 0) (value ())
+
+(* ------------------------------------------------------------------ *)
+(* OpenMP parallel-region bodies                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Fresh loop-variable names, one counter per generated program. *)
+type st = { mutable loops : int }
+
+let fresh_loop_var st =
+  let n = st.loops in
+  st.loops <- n + 1;
+  "i" ^ string_of_int n
+
+let parallel_item st src vars =
+  match choose src 8 with
+  | 0 -> compute (i (1 + choose src 3))
+  | 1 -> omp_barrier
+  | 2 -> critical [ assign (pick src vars) (v (pick src vars) +: i 1) ]
+  | 3 -> master [ collective src vars ]
+  | 4 ->
+      let nowait = choose src 4 = 3 in
+      single ~nowait [ collective src vars ]
+  | 5 ->
+      let x = pick src vars in
+      let iv = fresh_loop_var st in
+      omp_for
+        ~reduction:(Ast.Rsum, x)
+        iv (i 0)
+        (i (2 + choose src 3))
+        [ assign x (v x +: v iv) ]
+  | 6 -> parallel ~num_threads:(i 2) [ compute (i 1) ]
+  | _ -> sections [ [ collective src vars ]; [ compute (i 2) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Main-body segments                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let segment st src ~nhelpers vars =
+  match choose src 7 with
+  | 0 -> [ collective src vars ]
+  | 1 -> [ assign (pick src vars) (uniform_expr src vars) ]
+  | 2 ->
+      (* Bounded uniform loop, optionally carrying a collective. *)
+      let x = pick src vars in
+      let iv = fresh_loop_var st in
+      let body = [ assign x (v x +: v iv) ] in
+      let body =
+        if choose src 2 = 1 then body @ [ collective src vars ] else body
+      in
+      [ for_ iv (i 0) (i (1 + choose src 3)) body ]
+  | 3 ->
+      if nhelpers = 0 then [ collective src vars ]
+      else [ call ("kernel" ^ string_of_int (choose src nhelpers)) [] ]
+  | 4 ->
+      (* Uniform conditional: both arms match on every rank because the
+         condition is rank-free (unless a data race upstream makes it
+         diverge — which the race pass must then report). *)
+      let c = condition src vars in
+      let then_ = [ collective src vars ] in
+      let else_ =
+        match choose src 3 with
+        | 0 -> []
+        | 1 -> [ compute (i 1) ]
+        | _ -> [ collective src vars ]
+      in
+      [ if_ c then_ else_ ]
+  | 5 ->
+      let n = 1 + choose src 3 in
+      let items = List.init n (fun _ -> parallel_item st src vars) in
+      if choose src 2 = 0 then [ parallel ~num_threads:(i 2) items ]
+      else [ parallel items ]
+  | _ ->
+      (* The racy axis: an unprotected shared read-modify-write executed
+         by every thread of the team. *)
+      let x = pick src vars in
+      [ parallel ~num_threads:(i 2) [ assign x (v x +: i 1); compute (i 1) ] ]
+
+let helper src idx =
+  let vars = [ "t" ] in
+  let n = 1 + choose src 2 in
+  let stmts =
+    List.concat
+      (List.init n (fun _ ->
+           match choose src 2 with
+           | 0 -> [ collective src vars ]
+           | _ -> [ assign "t" (v "t" +: i 1) ]))
+  in
+  func ("kernel" ^ string_of_int idx) (decl "t" (i idx) :: stmts)
+
+let build src =
+  let st = { loops = 0 } in
+  let nhelpers = choose src 3 in
+  let helpers = List.init nhelpers (fun k -> helper src k) in
+  let nvars = 1 + choose src 3 in
+  let vars = List.init nvars (fun k -> "x" ^ string_of_int k) in
+  let decls = List.map (fun x -> decl x (i (choose src 5))) vars in
+  let nsegs = 2 + choose src 5 in
+  let segs =
+    List.concat (List.init nsegs (fun _ -> segment st src ~nhelpers vars))
+  in
+  let main = func "main" (decls @ segs @ [ barrier () ]) in
+  program (helpers @ [ main ])
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let skeleton trace = build (Replay (trace, ref 0))
+
+let program { trace; inject } =
+  let p = skeleton trace in
+  let p =
+    match inject with
+    | None -> p
+    | Some (bug, site) ->
+        (* Skeletons always end with a barrier, so there is at least one
+           candidate site, and [site mod n] stays in range as the
+           minimizer shrinks the program under it.  Some (bug, site)
+           combinations are structurally illegal — e.g. wrapping a
+           collective that sits inside [single] into [sections] violates
+           the worksharing nesting rules — so the hint resolves to the
+           first site at or after it whose injection still validates,
+           and decodes to the clean skeleton when no site admits the
+           bug. *)
+        let n = Benchsuite.Injector.collective_count p in
+        let rec attempt k =
+          if k >= n then p
+          else
+            let index = ((((site mod n) + n) mod n) + k) mod n in
+            let cand = Benchsuite.Injector.inject bug ~index p in
+            if Validate.is_valid (Validate.check_program cand) then cand
+            else attempt (k + 1)
+        in
+        attempt 0
+  in
+  number_lines p
+
+let random_trace rng =
+  let acc = ref [] in
+  let (_ : Ast.program) = build (Fresh (rng, acc)) in
+  Array.of_list (List.rev !acc)
+
+let case_id { trace; inject } =
+  let t =
+    String.concat "." (List.map string_of_int (Array.to_list trace))
+  in
+  match inject with
+  | None -> "trace=" ^ t
+  | Some (bug, site) ->
+      Printf.sprintf "trace=%s bug=%s@%d" t
+        (Benchsuite.Injector.short_name bug)
+        site

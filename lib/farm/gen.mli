@@ -1,0 +1,45 @@
+(** Seeded generator of hybrid MPI+OpenMP mini-language programs, driven
+    by an explicit decision trace (the Hypothesis "choice sequence"
+    idiom): every program is a deterministic function of an integer
+    array, any integer array decodes to a structurally valid program, and
+    shrinking the array shrinks the program — so the farm's delta
+    debugger ({!Minimize}) works on traces and stays inside the valid
+    space by construction.
+
+    Feature axes: the full collective palette, OpenMP nesting
+    ([parallel] with [single]/[master]/[critical]/[omp_for]/[sections]
+    bodies), barrier/critical topology, uniform conditionals and loops,
+    helper functions exercising the interprocedural analysis, a racy
+    shared-update axis for the data-race passes — and, per {!case}, one
+    optionally injected fault from {!Benchsuite.Injector}. *)
+
+(** One corpus program: a skeleton decision trace plus an optional
+    injected fault.  [inject = Some (bug, site)] plants [bug] at the
+    first collective at or after [site mod collective_count] where the
+    injection is structurally legal (some combinations violate the
+    OpenMP nesting rules); a case whose bug fits nowhere decodes to the
+    clean skeleton. *)
+type case = {
+  trace : int array;
+  inject : (Benchsuite.Injector.bug * int) option;
+}
+
+(** Decode a decision trace into a program (no fault, no line
+    numbering).  Out-of-range decisions are folded into range; a
+    too-short trace decodes remaining decisions as 0 — the simplest
+    choice — so truncation always stays valid. *)
+val skeleton : int array -> Minilang.Ast.program
+
+(** Decode a case: {!skeleton}, fault injection, and distinct synthetic
+    line numbers ({!Minilang.Builder.number_lines}) so warning and race
+    sites are distinguishable. *)
+val program : case -> Minilang.Ast.program
+
+(** Draw a fresh skeleton trace: generates a program recording every
+    decision made, and returns the recorded trace ([skeleton] of it
+    reproduces that exact program). *)
+val random_trace : Random.State.t -> int array
+
+(** Stable one-line manifest form: [trace=1.0.3...] or
+    [trace=... bug=rank-divergence@2]. *)
+val case_id : case -> string

@@ -1,0 +1,71 @@
+(** Trace delta debugger (see the interface). *)
+
+let remove_slice arr pos len =
+  Array.append (Array.sub arr 0 pos)
+    (Array.sub arr (pos + len) (Array.length arr - pos - len))
+
+let case ?(budget = 2000) ~check c0 =
+  let budget = ref budget in
+  let attempt c =
+    !budget > 0
+    &&
+    (decr budget;
+     check c)
+  in
+  if not (attempt c0) then c0
+  else begin
+    let cur = ref c0 in
+    let improved = ref true in
+    while !improved && !budget > 0 do
+      improved := false;
+      (* ddmin chop: remove chunks of halving size. *)
+      let chunk = ref (max 1 (Array.length !cur.Gen.trace / 2)) in
+      while !chunk >= 1 do
+        let pos = ref 0 in
+        while !pos + !chunk <= Array.length !cur.Gen.trace do
+          let cand =
+            { !cur with Gen.trace = remove_slice !cur.Gen.trace !pos !chunk }
+          in
+          if attempt cand then begin
+            cur := cand;
+            improved := true
+          end
+          else pos := !pos + !chunk
+        done;
+        chunk := !chunk / 2
+      done;
+      (* Zero pass: decision 0 is always the simplest menu option. *)
+      Array.iteri
+        (fun idx d ->
+          if d <> 0 then begin
+            let trace = Array.copy !cur.Gen.trace in
+            trace.(idx) <- 0;
+            let cand = { !cur with Gen.trace } in
+            if attempt cand then begin
+              cur := cand;
+              improved := true
+            end
+            else if d > 1 then begin
+              (* Halving keeps shrink progress when zero overshoots. *)
+              let trace = Array.copy !cur.Gen.trace in
+              trace.(idx) <- d / 2;
+              let cand = { !cur with Gen.trace } in
+              if attempt cand then begin
+                cur := cand;
+                improved := true
+              end
+            end
+          end)
+        !cur.Gen.trace;
+      (* Injection-site shrink. *)
+      (match !cur.Gen.inject with
+      | Some (bug, site) when site <> 0 ->
+          let cand = { !cur with Gen.inject = Some (bug, 0) } in
+          if attempt cand then begin
+            cur := cand;
+            improved := true
+          end
+      | _ -> ())
+    done;
+    !cur
+  end

@@ -1,0 +1,13 @@
+(** Delta debugging over the generator's decision trace.
+
+    Because any integer array decodes to a valid program ({!Gen}), the
+    minimizer never leaves the valid space: it chops chunks out of the
+    trace (ddmin), zeroes surviving decisions (every menu lists its
+    simplest option first), and shrinks the injection site — accepting
+    each candidate iff [check] still holds (the original disagreement
+    still reproduces). *)
+
+(** [case ~check c] greedily shrinks [c] under [check] within a bounded
+    number of [check] calls; returns [c] unchanged if [check c] is
+    false. *)
+val case : ?budget:int -> check:(Gen.case -> bool) -> Gen.case -> Gen.case

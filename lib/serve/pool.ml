@@ -274,6 +274,35 @@ module Ring = struct
     n
 end
 
+module Workq = struct
+  type 'a t = { batches : 'a array array array; next : int Atomic.t array }
+
+  let create batches =
+    {
+      batches;
+      next = Array.init (Array.length batches) (fun _ -> Atomic.make 0);
+    }
+
+  let shards t = Array.length t.batches
+
+  let take t ~shard =
+    let row = t.batches.(shard) in
+    let i = Atomic.fetch_and_add t.next.(shard) 1 in
+    if i < Array.length row then Some row.(i) else None
+
+  let steal t ~preferred =
+    let n = shards t in
+    let rec scan k =
+      if k >= n then None
+      else
+        let shard = (preferred + k) mod n in
+        match take t ~shard with
+        | Some batch -> Some (shard, batch)
+        | None -> scan (k + 1)
+    in
+    if n = 0 then None else scan 0
+end
+
 type t = {
   stream : (unit -> unit) Stream.t;
   workers : unit Domain.t array;

@@ -101,6 +101,29 @@ module Ring : sig
   val length : t -> int
 end
 
+(** Sharded batch queue with work stealing: each shard holds a fixed
+    array of batches filled up front; workers drain their own shards with
+    {!take} and fall back to {!steal} (a round-robin scan from a
+    preferred shard) so a slow shard never idles the rest of the pool.
+    Claiming is a single [Atomic.fetch_and_add] per batch — every batch
+    is handed out exactly once, whatever the worker interleaving. *)
+module Workq : sig
+  type 'a t
+
+  (** [create batches]: [batches.(s)] are shard [s]'s batches, in the
+      order they should be claimed. *)
+  val create : 'a array array array -> 'a t
+
+  val shards : 'a t -> int
+
+  (** Claim the next batch of [shard]; [None] once the shard is drained. *)
+  val take : 'a t -> shard:int -> 'a array option
+
+  (** Claim a batch from the first non-drained shard at or after
+      [preferred] (wrapping); returns the shard it came from. *)
+  val steal : 'a t -> preferred:int -> (int * 'a array) option
+end
+
 type t
 
 (** [create ~jobs ()] spawns [jobs] worker domains ([jobs >= 1]). *)

@@ -1,0 +1,194 @@
+(** Tests for the differential fuzzing farm ([lib/farm]).
+
+    Property: every decision trace — arbitrary integers, arbitrary
+    length, with or without an injected fault — decodes to a program
+    that validates and whose pretty-printed text parses back to the
+    identical AST (the generator is total over the valid space, which is
+    what lets the delta debugger shrink traces freely).
+
+    Pipeline: verdicts are deterministic across domain counts, the farm
+    agrees with the CLI-equivalent serial baseline, the manifest is
+    byte-stable, and a deliberately weakened checker is caught and
+    minimized to a small reproducer. *)
+
+let sim_small =
+  { Farm.Oracle.default_sim with Farm.Oracle.seeds = [ 1; 2 ] }
+
+let spec_small =
+  {
+    Farm.Pipeline.default_spec with
+    Farm.Pipeline.families = 8;
+    variants = 4;
+    sim = sim_small;
+  }
+
+let nonblank_lines text =
+  List.length
+    (List.filter
+       (fun l -> String.trim l <> "")
+       (String.split_on_char '\n' text))
+
+(* ------------------------------------------------------------------ *)
+(* Generator properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_trace = QCheck.Gen.(array_size (int_bound 80) (int_range (-3) 40))
+
+let gen_case =
+  QCheck.Gen.(
+    let* trace = gen_trace in
+    let* inject =
+      oneof
+        [
+          return None;
+          (let* bug = oneofl Benchsuite.Injector.all in
+           let* site = int_bound 100 in
+           return (Some (bug, site)));
+        ]
+    in
+    return { Farm.Gen.trace; inject })
+
+let case_print (c : Farm.Gen.case) = Farm.Gen.case_id c
+
+let properties =
+  [
+    QCheck.Test.make ~count:300 ~name:"every case decodes to a valid program"
+      (QCheck.make ~print:case_print gen_case)
+      (fun case ->
+        let p = Farm.Gen.program case in
+        Minilang.Validate.is_valid (Minilang.Validate.check_program p));
+    QCheck.Test.make ~count:300
+      ~name:"pretty -> parse round-trips to the identical AST"
+      (QCheck.make ~print:case_print gen_case)
+      (fun case ->
+        let p = Farm.Gen.program case in
+        let text = Minilang.Pretty.program_to_string p in
+        let p' = Minilang.Parser.parse_string ~file:"<farm>" text in
+        Minilang.Ast.equal_program p p');
+    QCheck.Test.make ~count:100
+      ~name:"recorded traces replay to the same program"
+      QCheck.(make ~print:string_of_int Gen.small_nat)
+      (fun seed ->
+        let rng = Random.State.make [| 0xfeed; seed |] in
+        let trace = Farm.Gen.random_trace rng in
+        let p = Farm.Gen.skeleton trace in
+        Minilang.Validate.is_valid (Minilang.Validate.check_program p)
+        && Minilang.Ast.equal_program p (Farm.Gen.skeleton trace));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let obs_list (r : Farm.Pipeline.result) =
+  Array.to_list
+    (Array.map (fun (v : Farm.Pipeline.verdict) -> v.Farm.Pipeline.obs)
+       r.Farm.Pipeline.verdicts)
+
+let tests =
+  [
+    Alcotest.test_case "verdicts are domain-count invariant" `Quick (fun () ->
+        let r1 = Farm.Pipeline.run ~jobs:1 ~shards:4 ~batch:4 spec_small in
+        let r2 = Farm.Pipeline.run ~jobs:2 ~shards:4 ~batch:4 spec_small in
+        let r3 = Farm.Pipeline.run ~jobs:1 ~shards:2 ~batch:7 spec_small in
+        Alcotest.(check bool) "jobs 1 = jobs 2" true
+          (obs_list r1 = obs_list r2);
+        Alcotest.(check bool) "shard/batch invariant" true
+          (obs_list r1 = obs_list r3));
+    Alcotest.test_case "farm agrees with the serial baseline" `Quick
+      (fun () ->
+        let farm = Farm.Pipeline.run ~jobs:1 spec_small in
+        let serial = Farm.Pipeline.run_serial spec_small in
+        List.iter2
+          (fun f s ->
+            Alcotest.(check bool) "obs agree" true
+              (Farm.Oracle.obs_agree f s))
+          (obs_list farm) (obs_list serial);
+        Alcotest.(check int) "clean corpus, no violations" 0
+          (List.length farm.Farm.Pipeline.violations));
+    Alcotest.test_case "manifest is byte-stable" `Quick (fun () ->
+        let m () =
+          Farm.Pipeline.manifest ~shards:8 spec_small
+            (Farm.Pipeline.fingerprinted (Farm.Pipeline.corpus spec_small))
+        in
+        let a = m () and b = m () in
+        Alcotest.(check string) "identical" a b;
+        Alcotest.(check int) "one line per entry + header"
+          (spec_small.Farm.Pipeline.families
+           * spec_small.Farm.Pipeline.variants
+          + 1)
+          (nonblank_lines a));
+    Alcotest.test_case "work queue: take own shards, then steal" `Quick
+      (fun () ->
+        let q =
+          Serve.Pool.Workq.create
+            [| [| [| 0; 1 |]; [| 2 |] |]; [| [| 3 |] |]; [||] |]
+        in
+        Alcotest.(check int) "shards" 3 (Serve.Pool.Workq.shards q);
+        (match Serve.Pool.Workq.take q ~shard:0 with
+        | Some b -> Alcotest.(check (array int)) "first batch" [| 0; 1 |] b
+        | None -> Alcotest.fail "expected a batch");
+        (match Serve.Pool.Workq.steal q ~preferred:2 with
+        | Some (shard, b) ->
+            (* Shard 2 is empty; the scan wraps to the next non-empty. *)
+            Alcotest.(check int) "stolen from" 0 shard;
+            Alcotest.(check (array int)) "stolen batch" [| 2 |] b
+        | None -> Alcotest.fail "expected a steal");
+        (match Serve.Pool.Workq.steal q ~preferred:0 with
+        | Some (shard, _) -> Alcotest.(check int) "last batch" 1 shard
+        | None -> Alcotest.fail "expected a steal");
+        Alcotest.(check bool) "drained" true
+          (Serve.Pool.Workq.steal q ~preferred:0 = None
+          && Serve.Pool.Workq.take q ~shard:0 = None));
+    Alcotest.test_case "timings cover every pipeline stage" `Quick (fun () ->
+        let tm = Parcoach.Timings.create () in
+        let (_ : Farm.Pipeline.result) =
+          Farm.Pipeline.run ~timings:tm ~jobs:1 spec_small
+        in
+        let phases = List.map fst (Parcoach.Timings.entries tm) in
+        List.iter
+          (fun phase ->
+            Alcotest.(check bool) (phase ^ " recorded") true
+              (List.mem phase phases))
+          [
+            "generate"; "fingerprint"; "validate"; "hash"; "compile";
+            "simulate";
+          ]);
+    Alcotest.test_case "weakened checker is caught and minimized" `Quick
+      (fun () ->
+        let spec =
+          {
+            spec_small with
+            Farm.Pipeline.families = 6;
+            variants = 6;
+            handicap = Some Farm.Oracle.Blind_mismatch;
+          }
+        in
+        let entries =
+          Farm.Pipeline.fingerprinted (Farm.Pipeline.corpus spec)
+        in
+        let result = Farm.Pipeline.run_entries ~jobs:1 spec entries in
+        Alcotest.(check bool) "drill violations found" true
+          (result.Farm.Pipeline.violations <> []);
+        let repros =
+          Farm.Pipeline.minimized_reproducers ~limit:1 spec result entries
+        in
+        List.iter
+          (fun ( (_ : Farm.Pipeline.entry),
+                 (v : Farm.Oracle.violation),
+                 case,
+                 program ) ->
+            Alcotest.(check bool) "still violates" true
+              (Farm.Pipeline.violates ~handicap:Farm.Oracle.Blind_mismatch
+                 ~sim:spec.Farm.Pipeline.sim ~vkind:v.Farm.Oracle.vkind case);
+            Alcotest.(check bool) "reproducer fits in 30 lines" true
+              (nonblank_lines (Minilang.Pretty.program_to_string program)
+              <= 30))
+          repros);
+  ]
+
+let suite =
+  [
+    ("farm.gen", List.map QCheck_alcotest.to_alcotest properties);
+    ("farm.pipeline", tests);
+  ]

@@ -88,6 +88,57 @@ let tests =
             Alcotest.(check bool) (name ^ " round-trips") true
               (Minilang.Ast.equal_program p p2))
           [ "jacobi.hml"; "buggy_halo.hml"; "pipeline.hml" ]);
+    Alcotest.test_case
+      "farm_racy_update.hml: race covered statically, caught when dropped"
+      `Quick (fun () ->
+        let p = load "farm_racy_update.hml" in
+        Alcotest.(check bool) "validates" true
+          (Minilang.Validate.is_valid (Minilang.Validate.check_program p));
+        let report =
+          Parcoach.Driver.analyze ~options:Farm.Oracle.options p
+        in
+        Alcotest.(check bool) "static data-race pair" true
+          (List.mem_assoc "data race"
+             (Parcoach.Driver.warnings_by_class report));
+        let sim = { Farm.Oracle.default_sim with Farm.Oracle.seeds = [ 1; 2 ] } in
+        let clean = Farm.Oracle.observe ~sim ~report p in
+        Alcotest.(check int) "clean checker: no violations" 0
+          (List.length clean.Farm.Oracle.violations);
+        Alcotest.(check bool) "dynamic race observed" true
+          (clean.Farm.Oracle.dyn_races > 0);
+        let drilled =
+          Farm.Oracle.observe ~handicap:Farm.Oracle.Drop_race_edge ~sim
+            ~report p
+        in
+        Alcotest.(check bool) "dropped MHP edge is caught" true
+          (List.exists
+             (fun (v : Farm.Oracle.violation) ->
+               String.equal v.Farm.Oracle.vkind "race-uncovered")
+             drilled.Farm.Oracle.violations));
+    Alcotest.test_case
+      "farm_rank_divergence.hml: mismatch warned, caught when blinded"
+      `Quick (fun () ->
+        let p = load "farm_rank_divergence.hml" in
+        Alcotest.(check bool) "validates" true
+          (Minilang.Validate.is_valid (Minilang.Validate.check_program p));
+        let report =
+          Parcoach.Driver.analyze ~options:Farm.Oracle.options p
+        in
+        Alcotest.(check bool) "statically warned" true
+          (Parcoach.Driver.warning_count report > 0);
+        let sim = { Farm.Oracle.default_sim with Farm.Oracle.seeds = [ 1; 2 ] } in
+        let clean = Farm.Oracle.observe ~sim ~report p in
+        Alcotest.(check int) "clean checker: no violations" 0
+          (List.length clean.Farm.Oracle.violations);
+        let drilled =
+          Farm.Oracle.observe ~handicap:Farm.Oracle.Blind_mismatch ~sim
+            ~report p
+        in
+        Alcotest.(check bool) "blinded checker caught by a stopped run" true
+          (List.exists
+             (fun (v : Farm.Oracle.violation) ->
+               String.equal v.Farm.Oracle.vkind "static-clean-run-stop")
+             drilled.Farm.Oracle.violations));
   ]
 
 let suite = [ ("programs.samples", tests) ]
