@@ -1566,6 +1566,199 @@ let races_section () =
   Fmt.pr "@.wrote BENCH_races.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Request-lifecycle pass: clean suite, oracle agreement, overhead     *)
+(* ------------------------------------------------------------------ *)
+
+let requests_section () =
+  Fmt.pr
+    "@.== Nonblocking request-lifecycle pass: warnings, oracle agreement, \
+     overhead ==@.@.";
+  let smoke = Sys.getenv_opt "BENCH_REQUESTS_SMOKE" <> None in
+  let options =
+    {
+      Parcoach.Driver.default_options with
+      Parcoach.Driver.requests = true;
+      taint_filter = true;
+    }
+  in
+  let request_classes =
+    [ "request leak"; "double wait"; "use before completion";
+      "completion mismatch" ]
+  in
+  let request_warning_count report =
+    List.length
+      (List.filter
+         (fun (w : Parcoach.Warning.t) ->
+           List.mem
+             (Parcoach.Warning.class_of w.Parcoach.Warning.kind)
+             request_classes)
+         (Parcoach.Driver.all_warnings report))
+  in
+  (* Per-function request-pass counters summed over the whole program. *)
+  let request_stats report =
+    List.fold_left
+      (fun (reqs, starts, finds) (fr : Parcoach.Driver.func_report) ->
+        match fr.Parcoach.Driver.requests with
+        | None -> (reqs, starts, finds)
+        | Some r ->
+            ( reqs + r.Parcoach.Requests.nrequests,
+              starts + r.Parcoach.Requests.nstarts,
+              finds + List.length r.Parcoach.Requests.findings ))
+      (0, 0, 0) report.Parcoach.Driver.funcs
+  in
+  (* Clean benchmarks (now with split-phase EPCC skeletons): zero
+     request warnings. *)
+  Fmt.pr "%-10s | %8s | %6s | %8s | %8s@." "benchmark" "requests" "starts"
+    "findings" "warnings";
+  Fmt.pr "%s@." (String.make 52 '-');
+  let bench_rows =
+    List.map
+      (fun (e : Benchsuite.Catalog.entry) ->
+        let program = e.Benchsuite.Catalog.generate_small () in
+        let report = Parcoach.Driver.analyze ~options program in
+        let reqs, starts, finds = request_stats report in
+        let warns = request_warning_count report in
+        Fmt.pr "%-10s | %8d | %6d | %8d | %8d@." e.Benchsuite.Catalog.name
+          reqs starts finds warns;
+        (e.Benchsuite.Catalog.name, (reqs, starts, finds, warns)))
+      Benchsuite.Catalog.all
+  in
+  List.iter
+    (fun (name, (_, _, _, warns)) ->
+      if warns <> 0 then
+        Fmt.failwith "requests: clean benchmark %s has %d request warning(s)"
+          name warns)
+    bench_rows;
+  Fmt.pr "@.all clean benchmarks: 0 request warnings@.@.";
+  (* Buggy examples: static warnings plus the dynamic lifecycle
+     checker's verdicts, with the dynamic ⊆ static agreement gate. *)
+  let seeds = if smoke then 2 else 5 in
+  let example_rows =
+    List.map
+      (fun name ->
+        let program = Minilang.Parser.parse_file (example_path name) in
+        let report = Parcoach.Driver.analyze ~options program in
+        let warnings = Parcoach.Driver.all_warnings report in
+        let statically_covered (cls, site) =
+          List.exists
+            (fun (w : Parcoach.Warning.t) ->
+              String.equal (Parcoach.Warning.class_of w.Parcoach.Warning.kind)
+                cls
+              &&
+              match w.Parcoach.Warning.kind with
+              | Parcoach.Warning.Request_leak { started; _ } ->
+                  List.exists
+                    (fun l -> String.equal (Minilang.Loc.to_string l) site)
+                    started
+              | _ ->
+                  String.equal
+                    (Minilang.Loc.to_string w.Parcoach.Warning.loc)
+                    site)
+            warnings
+        in
+        let dynamic =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun seed ->
+                 let config =
+                   {
+                     Interp.Sim.default_config with
+                     nranks = 3;
+                     schedule = `Random seed;
+                   }
+                 in
+                 let result = Interp.Sim.run ~config program in
+                 List.map
+                   (function
+                     | Interp.Sim.Leaked_request { site; _ } ->
+                         ("request leak", site)
+                     | Interp.Sim.Double_wait { site; _ } ->
+                         ("double wait", site)
+                     | Interp.Sim.Stale_read { site; _ } ->
+                         ("use before completion", site))
+                   result.Interp.Sim.lifecycle)
+               (List.init seeds (fun i -> i)))
+        in
+        let covered = List.for_all statically_covered dynamic in
+        let static = request_warning_count report in
+        Fmt.pr
+          "%-25s: %d static warning(s), %d dynamic violation(s) over %d \
+           seeds, dynamic covered statically: %b@."
+          name static (List.length dynamic) seeds covered;
+        if not covered then
+          Fmt.failwith
+            "requests: dynamic lifecycle violation in %s not statically \
+             reported"
+            name;
+        if static = 0 then
+          Fmt.failwith "requests: buggy example %s reports no warnings" name;
+        (name, static, List.length dynamic, covered))
+      [ "leaky_request.hml"; "ibarrier_divergence.hml" ]
+  in
+  (* Overhead of the request pass over the default analysis, across the
+     whole catalog. *)
+  let programs =
+    List.map
+      (fun (e : Benchsuite.Catalog.entry) ->
+        e.Benchsuite.Catalog.generate_small ())
+      Benchsuite.Catalog.all
+  in
+  let analyze_all options () =
+    List.iter (fun p -> ignore (Parcoach.Driver.analyze ~options p)) programs
+  in
+  let quota = if smoke then 0.3 else 1.5 in
+  let baseline =
+    { Parcoach.Driver.default_options with Parcoach.Driver.taint_filter = true }
+  in
+  let rows =
+    measure ~quota
+      [
+        Test.make ~name:"requests-off" (Staged.stage (analyze_all baseline));
+        Test.make ~name:"requests-on" (Staged.stage (analyze_all options));
+      ]
+  in
+  let off = find_estimate rows "requests-off" in
+  let on = find_estimate rows "requests-on" in
+  let overhead_pct = (on -. off) /. off *. 100. in
+  Fmt.pr
+    "@.analysis time: %.0f ns without requests, %.0f ns with (%.1f%% \
+     overhead)@."
+    off on overhead_pct;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"section\": \"requests\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"benchsuite\": [\n%s\n  ],\n\
+      \  \"examples\": [\n%s\n  ],\n\
+      \  \"overhead\": { \"requests_off_ns\": %.0f, \"requests_on_ns\": \
+       %.0f, \"percent\": %.2f }\n\
+       }\n"
+      smoke
+      (String.concat ",\n"
+         (List.map
+            (fun (name, (reqs, starts, finds, warns)) ->
+              Printf.sprintf
+                "    { \"name\": \"%s\", \"requests\": %d, \"starts\": %d, \
+                 \"findings\": %d, \"warnings\": %d }"
+                name reqs starts finds warns)
+            bench_rows))
+      (String.concat ",\n"
+         (List.map
+            (fun (name, static, dynamic, covered) ->
+              Printf.sprintf
+                "    { \"name\": \"%s\", \"static_warnings\": %d, \
+                 \"dynamic_violations\": %d, \"dynamic_covered\": %b }"
+                name static dynamic covered)
+            example_rows))
+      off on overhead_pct
+  in
+  let oc = open_out "BENCH_requests.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_requests.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Dynamic partial-order reduction: replays vs BFS vs reference        *)
 (* ------------------------------------------------------------------ *)
 
@@ -2123,9 +2316,13 @@ let farm_section () =
   in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   write "BENCH_farm.json";
-  write "BENCH_farm-latest.json";
+  (* Historical snapshots accumulate per run: they live under _bench/
+     (gitignored), keeping only the canonical BENCH_farm.json at the
+     repo root. *)
+  (try Unix.mkdir "_bench" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  write "_bench/BENCH_farm-latest.json";
   write
-    (Printf.sprintf "BENCH_farm-%04d%02d%02d-%02d%02d%02d.json"
+    (Printf.sprintf "_bench/BENCH_farm-%04d%02d%02d-%02d%02d%02d.json"
        (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
        tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec)
 
@@ -2149,6 +2346,7 @@ let sections =
     ("interp-perf", interp_perf_section);
     ("scaling", scaling_section);
     ("races", races_section);
+    ("requests", requests_section);
     ("serve", serve_section);
     ("farm", farm_section);
   ]

@@ -24,8 +24,12 @@ let read_program file bench =
       Fmt.epr "give a source file or --bench NAME@.";
       exit 2
 
-let run file bench initial_multi level taint interproc races jobs json timings
-    instrument_mode output dot =
+let run file bench initial_multi level taint interproc races requests only
+    list_checks jobs json timings instrument_mode output dot =
+  if list_checks then begin
+    List.iter print_endline Parcoach.Warning.all_classes;
+    exit 0
+  end;
   let tm =
     if timings then Some (Parcoach.Timings.create ()) else None
   in
@@ -65,9 +69,11 @@ let run file bench initial_multi level taint interproc races jobs json timings
       taint_filter = taint;
       interprocedural = interproc;
       races;
+      requests;
     }
   in
   let report = Parcoach.Driver.analyze ~options ?jobs ?timings:tm program in
+  let report = Parcoach.Driver.filter_classes report ~only in
   if json then print_endline (Parcoach.Json_report.to_string ~issues report)
   else Fmt.pr "%a" Parcoach.Driver.pp_report report;
   report_timings ();
@@ -164,6 +170,47 @@ let races =
            conflicting accesses to shared variables that may happen in \
            parallel.")
 
+let requests =
+  Arg.(
+    value & flag
+    & info [ "requests" ]
+        ~doc:
+          "Run the nonblocking request-lifecycle pass and report request \
+           leaks, double waits, uses of a buffer before completion, and \
+           split-phase collectives whose completion placement may \
+           diverge across ranks.")
+
+let only =
+  (* Unknown class names are rejected at option-parse time, so cmdliner
+     exits with its CLI-error status (124) like the other option errors
+     of this tool family. *)
+  let cls =
+    Arg.conv
+      ( (fun s ->
+          if List.mem s Parcoach.Warning.all_classes then Ok s
+          else
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown warning class '%s' (see --list-checks)" s))),
+        Fmt.string )
+  in
+  Arg.(
+    value
+    & opt (some (list cls)) None
+    & info [ "only" ] ~docv:"CLASS[,CLASS...]"
+        ~doc:
+          "Report only warnings of the given comma-separated classes \
+           (see $(b,--list-checks)).  Filtering applies to the text and \
+           JSON reports and to the exit status; instrumentation \
+           decisions are unaffected.")
+
+let list_checks =
+  Arg.(
+    value & flag
+    & info [ "list-checks" ]
+        ~doc:"Print the known warning class names (one per line) and exit.")
+
 let jobs =
   Arg.(
     value
@@ -234,6 +281,7 @@ let cmd =
     (Cmd.info "parcoachc" ~version:"0.6.0" ~doc)
     Term.(
       const run $ file $ bench $ initial_multi $ level $ taint $ interproc
-      $ races $ jobs $ json $ timings $ instrument_mode $ output $ dot)
+      $ races $ requests $ only $ list_checks $ jobs $ json $ timings
+      $ instrument_mode $ output $ dot)
 
 let () = exit (Cmd.eval cmd)

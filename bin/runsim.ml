@@ -128,6 +128,11 @@ let run file bench ranks threads seed round_robin max_steps instrument jobs
     (Mpisim.Engine.completed_count result.Interp.Sim.engine)
     (Mpisim.Engine.cc_check_count result.Interp.Sim.engine)
     stats.Interp.Sim.counter_checks;
+  (match result.Interp.Sim.lifecycle with
+  | [] -> ()
+  | vs ->
+      Fmt.pr "request lifecycle: %d violation(s)@." (List.length vs);
+      List.iter (fun v -> Fmt.pr "  %a@." Interp.Sim.pp_lifecycle v) vs);
   if show_trace then
     List.iter
       (fun (rank, tid, value) ->

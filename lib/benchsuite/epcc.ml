@@ -104,6 +104,63 @@ let multiple_p2p_bench ~name ~reps =
       barrier ();
     ]
 
+(* Split-phase variants: the communicating thread starts a nonblocking
+   operation, overlaps thread-level work, then completes it with a wait
+   on the same path — the clean request lifecycle the [Requests] pass
+   verifies (every start reaches exactly one wait, no buffer touched
+   while in flight, completion placement rank-uniform). *)
+let funnelled_ibarrier_bench ~name ~reps =
+  func name ~params:[]
+    [
+      for_ "rep" (i 0) (i reps)
+        [
+          parallel
+            [
+              delay_work ~cost:4;
+              omp_barrier;
+              master [ ibarrier "nbreq"; compute (i 3); wait "nbreq" ];
+              omp_barrier;
+            ];
+        ];
+    ]
+
+let serialized_iallreduce_bench ~name ~reps =
+  func name ~params:[]
+    [
+      decl "nbsum" (i 0);
+      for_ "rep" (i 0) (i reps)
+        [
+          parallel
+            [
+              delay_work ~cost:4;
+              single
+                [
+                  iallreduce "nbreq" ~target:"nbsum" ~op:Ast.Rsum (i 1);
+                  compute (i 2);
+                  wait "nbreq";
+                ];
+            ];
+        ];
+    ]
+
+(* Nonblocking halo exchange: isend/irecv posted back to back, overlap
+   work that does not touch the in-flight buffer, then both waits. *)
+let nb_halo_bench ~name ~reps =
+  func name ~params:[]
+    [
+      decl "halo" (i 0);
+      for_ "rep" (i 0) (i reps)
+        [
+          isend "sreq" ~dest:((rank +: i 1) %: size) ~tag:(i 5) (v "halo");
+          irecv "rreq" ~target:"halo"
+            ~src:((rank +: size -: i 1) %: size)
+            ~tag:(i 5) ();
+          parallel [ delay_work ~cost:3 ];
+          wait "sreq";
+          wait "rreq";
+        ];
+    ]
+
 (* Critical-section probe of the "multiple" thread-level tests: all threads
    serialise through a critical section (thread-level work only; the MPI
    part of the multiple tests is point-to-point and out of collective
@@ -156,6 +213,11 @@ let suite ?(reps = 2) ?(variants = 1) () =
         serialized_bench ~name:"serialized_gather" ~reps (fun () ->
             gather ~root:(i 0) (i 5)) );
       ("halo_exchange", halo_bench ~name:"halo_exchange" ~reps);
+      ( "funnelled_ibarrier",
+        funnelled_ibarrier_bench ~name:"funnelled_ibarrier" ~reps );
+      ( "serialized_iallreduce_nb",
+        serialized_iallreduce_bench ~name:"serialized_iallreduce_nb" ~reps );
+      ("nb_halo_exchange", nb_halo_bench ~name:"nb_halo_exchange" ~reps);
       ("multiple_critical", multiple_bench ~name:"multiple_critical" ~reps);
       ("multiple_p2p", multiple_p2p_bench ~name:"multiple_p2p" ~reps);
     ]

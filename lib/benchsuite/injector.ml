@@ -22,6 +22,13 @@ type bug =
       (** Rank-dependent reduction operator (detected at the rendezvous). *)
   | Extra_collective
       (** Insert an extra barrier on the last rank only. *)
+  | Drop_wait
+      (** Delete an [MPI_Wait]: the request leaks (started, never
+          completed) on every path. *)
+  | Double_wait  (** Duplicate an [MPI_Wait]: waits a completed request. *)
+  | Divergent_wait
+      (** Execute an [MPI_Wait] on rank 0 only: completion placement is no
+          longer control-flow-uniform, and other ranks leak the request. *)
 
 let bug_name = function
   | Rank_divergence -> "rank-divergent collective"
@@ -29,6 +36,9 @@ let bug_name = function
   | Into_sections -> "collective duplicated in concurrent sections"
   | Operator_mismatch -> "rank-dependent reduction operator"
   | Extra_collective -> "extra collective on one rank"
+  | Drop_wait -> "dropped request completion"
+  | Double_wait -> "duplicated request completion"
+  | Divergent_wait -> "rank-divergent request completion"
 
 let all =
   [
@@ -37,6 +47,9 @@ let all =
     Into_sections;
     Operator_mismatch;
     Extra_collective;
+    Drop_wait;
+    Double_wait;
+    Divergent_wait;
   ]
 
 let short_name = function
@@ -45,6 +58,9 @@ let short_name = function
   | Into_sections -> "into-sections"
   | Operator_mismatch -> "operator-mismatch"
   | Extra_collective -> "extra-collective"
+  | Drop_wait -> "drop-wait"
+  | Double_wait -> "double-wait"
+  | Divergent_wait -> "divergent-wait"
 
 let of_short_name s = List.find_opt (fun b -> short_name b = s) all
 
@@ -57,17 +73,30 @@ let collective_count (program : Ast.program) =
         n f.Ast.body)
     0 program.Ast.funcs
 
-(* Rewrites the [index]-th collective statement (0-based, program order)
-   with [rewrite]; returns the new program.  Statements produced by
+(** Number of [MPI_Wait] statements in [program] (sites of the
+    wait-targeting faults). *)
+let wait_count (program : Ast.program) =
+  List.fold_left
+    (fun n f ->
+      Ast.fold_stmts
+        (fun n s -> match s.Ast.sdesc with Ast.Wait _ -> n + 1 | _ -> n)
+        n f.Ast.body)
+    0 program.Ast.funcs
+
+(* Rewrites the [index]-th statement matching [is_site] (0-based, program
+   order) with [rewrite]; returns the new program.  Statements produced by
    [rewrite] are renumbered lines so reports stay readable. *)
-let rewrite_nth_collective (program : Ast.program) ~index ~rewrite =
+let rewrite_nth_site (program : Ast.program) ~is_site ~index ~rewrite =
   let counter = ref (-1) in
   let rec on_block block = List.concat_map on_stmt block
   and on_stmt s =
+    if is_site s then begin
+      incr counter;
+      if !counter = index then rewrite s else [ s ]
+    end
+    else
     match s.Ast.sdesc with
-    | Ast.Coll _ ->
-        incr counter;
-        if !counter = index then rewrite s else [ s ]
+    | Ast.Coll _ | Ast.Wait _ -> [ s ]
     | Ast.If (c, bt, bf) ->
         [ { s with Ast.sdesc = Ast.If (c, on_block bt, on_block bf) } ]
     | Ast.While (c, b) -> [ { s with Ast.sdesc = Ast.While (c, on_block b) } ]
@@ -103,7 +132,8 @@ let rewrite_nth_collective (program : Ast.program) ~index ~rewrite =
           };
         ]
     | Ast.Decl _ | Ast.Assign _ | Ast.Return | Ast.Call _ | Ast.Compute _
-    | Ast.Print _ | Ast.Send _ | Ast.Recv _ | Ast.Omp_barrier | Ast.Check _ ->
+    | Ast.Print _ | Ast.Send _ | Ast.Recv _ | Ast.Istart _ | Ast.Test _
+    | Ast.Omp_barrier | Ast.Check _ ->
         [ s ]
   in
   {
@@ -113,9 +143,37 @@ let rewrite_nth_collective (program : Ast.program) ~index ~rewrite =
         program.Ast.funcs;
   }
 
-(** [inject bug ~index program] plants [bug] at the [index]-th collective.
+let is_coll_site s = match s.Ast.sdesc with Ast.Coll _ -> true | _ -> false
+
+let is_wait_site s = match s.Ast.sdesc with Ast.Wait _ -> true | _ -> false
+
+let rewrite_nth_collective program ~index ~rewrite =
+  rewrite_nth_site program ~is_site:is_coll_site ~index ~rewrite
+
+(** Whether [bug]'s injection sites are [MPI_Wait] statements (counted by
+    {!wait_count}) rather than collectives ({!collective_count}). *)
+let targets_wait = function
+  | Drop_wait | Double_wait | Divergent_wait -> true
+  | Rank_divergence | Into_parallel | Into_sections | Operator_mismatch
+  | Extra_collective ->
+      false
+
+(** [inject bug ~index program] plants [bug] at the [index]-th site
+    (collective, or [MPI_Wait] for the wait-targeting faults).
     @raise Invalid_argument if [index] is out of range. *)
 let inject bug ~index (program : Ast.program) =
+  if targets_wait bug then begin
+    if index < 0 || index >= wait_count program then
+      invalid_arg "Injector.inject: wait index out of range";
+    let rewrite (s : Ast.stmt) =
+      match bug with
+      | Drop_wait -> []
+      | Double_wait -> [ s; { s with Ast.sloc = s.Ast.sloc } ]
+      | _ -> [ if_ (rank ==: i 0) [ s ] [] ]
+    in
+    rewrite_nth_site program ~is_site:is_wait_site ~index ~rewrite
+  end
+  else begin
   if index < 0 || index >= collective_count program then
     invalid_arg "Injector.inject: collective index out of range";
   let rewrite (s : Ast.stmt) =
@@ -148,8 +206,10 @@ let inject bug ~index (program : Ast.program) =
             (* Not a reduction: degrade to a collective-kind mismatch. *)
             [ if_ (rank ==: i 0) [ barrier () ] [ s ] ])
     | Extra_collective -> [ s; if_ (rank ==: size -: i 1) [ barrier () ] [] ]
+    | Drop_wait | Double_wait | Divergent_wait -> [ s ] (* dispatched above *)
   in
   rewrite_nth_collective program ~index ~rewrite
+  end
 
 (** Indices of all collectives whose enclosing function is [fname], handy
     for targeting injections. *)

@@ -8,6 +8,9 @@ type bug =
   | Into_sections  (** Duplicate it into two concurrent sections. *)
   | Operator_mismatch  (** Rank-dependent reduction operator/kind. *)
   | Extra_collective  (** Extra barrier on the last rank only. *)
+  | Drop_wait  (** Delete an [MPI_Wait]: the request leaks everywhere. *)
+  | Double_wait  (** Duplicate an [MPI_Wait]. *)
+  | Divergent_wait  (** Execute an [MPI_Wait] on rank 0 only. *)
 
 val bug_name : bug -> string
 
@@ -21,6 +24,13 @@ val short_name : bug -> string
 val of_short_name : string -> bug option
 
 val collective_count : Minilang.Ast.program -> int
+
+(** Number of [MPI_Wait] statements (sites of the wait-targeting faults). *)
+val wait_count : Minilang.Ast.program -> int
+
+(** Whether the bug's injection sites are [MPI_Wait] statements rather
+    than collectives. *)
+val targets_wait : bug -> bool
 
 (** @raise Invalid_argument if [index] is out of range. *)
 val inject : bug -> index:int -> Minilang.Ast.program -> Minilang.Ast.program

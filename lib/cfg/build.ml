@@ -45,9 +45,13 @@ let rec build_block cur block =
 
 and build_stmt cur (s : Ast.stmt) =
   match s.Ast.sdesc with
-  | Decl _ | Assign _ | Compute _ | Print _ | Send _ | Recv _ ->
+  | Decl _ | Assign _ | Compute _ | Print _ | Send _ | Recv _ | Istart _
+  | Wait _ | Test _ ->
       (* Point-to-point calls are outside the collective-validation scope
-         (the paper checks collectives only): plain statements here. *)
+         (the paper checks collectives only): plain statements here.
+         Split-phase starts/completions also lower to [Simple] nodes — a
+         start never blocks, and [Parcoach.Requests] locates completion
+         points by statement, not by node kind. *)
       cur.pending <- s :: cur.pending
   | Return ->
       let _id = append cur (Return_site { stmt = s }) in

@@ -52,6 +52,12 @@ let node_uses g id =
           | Decl (_, e) | Assign (_, e) | Compute e | Print e -> [ e ]
           | Send { value; dest; tag } -> [ value; dest; tag ]
           | Recv { src; tag; _ } -> [ src; tag ]
+          | Istart { rop; _ } -> (
+              match rop with
+              | Ibarrier -> []
+              | Iallreduce { value; _ } -> [ value ]
+              | Isend { value; dest; tag } -> [ value; dest; tag ]
+              | Irecv { src; tag; _ } -> [ src; tag ])
           | _ -> [])
         stmts
   | Cond { expr; _ } -> [ expr ]
@@ -75,7 +81,17 @@ let node_defs g id =
       List.fold_left
         (fun acc s ->
           match s.sdesc with
-          | Decl (x, _) | Assign (x, _) | Recv { target = x; _ } ->
+          | Decl (x, _) | Assign (x, _) | Recv { target = x; _ }
+          | Test { target = x; _ } ->
+              StringSet.add x acc
+          (* The buffer of a split-phase operation is written by its
+             completion; the definition is attributed to the start, the
+             only program point that names the buffer (sound
+             over-approximation: the value is there no later than the
+             matching [MPI_Wait]). *)
+          | Istart
+              { rop = Iallreduce { target = x; _ } | Irecv { target = x; _ }; _ }
+            ->
               StringSet.add x acc
           | _ -> acc)
         StringSet.empty stmts
@@ -251,6 +267,13 @@ let constant_propagation g =
                 | Some n -> ConstMap.add x (Const n) env
                 | None -> ConstMap.add x NonConst env)
             | Recv { target; _ } -> ConstMap.add target NonConst env
+            | Test { target; _ } -> ConstMap.add target NonConst env
+            | Istart
+                {
+                  rop = Iallreduce { target; _ } | Irecv { target; _ };
+                  _;
+                } ->
+                ConstMap.add target NonConst env
             | _ -> env)
           fact stmts
     | Collective { target = Some x; _ } -> ConstMap.add x NonConst fact
@@ -310,6 +333,18 @@ let available_expressions g =
             | Compute e | Print e ->
                 ExprSet.union fact (subexprs ExprSet.empty e)
             | Recv { target; _ } -> kill target fact
+            | Test { target; _ } -> kill target fact
+            | Istart { rop; _ } -> (
+                let gen es =
+                  List.fold_left
+                    (fun f e -> ExprSet.union f (subexprs ExprSet.empty e))
+                    fact es
+                in
+                match rop with
+                | Ibarrier -> fact
+                | Iallreduce { target; value; _ } -> kill target (gen [ value ])
+                | Isend { value; dest; tag } -> gen [ value; dest; tag ]
+                | Irecv { target; src; tag } -> kill target (gen [ src; tag ]))
             | _ -> fact)
           fact stmts
     | _ ->
@@ -353,6 +388,13 @@ let copy_propagation g =
                 if x = y then kill x env else CopyMap.add x y (kill x env)
             | Decl (x, _) | Assign (x, _) -> kill x env
             | Recv { target; _ } -> kill target env
+            | Test { target; _ } -> kill target env
+            | Istart
+                {
+                  rop = Iallreduce { target; _ } | Irecv { target; _ };
+                  _;
+                } ->
+                kill target env
             | _ -> env)
           fact stmts
     | Collective { target = Some x; _ } -> kill x fact
@@ -439,6 +481,20 @@ let defuse g =
     | Compute e | Print e -> reads s e acc
     | Send { value; dest; tag } -> reads s value (reads s dest (reads s tag acc))
     | Recv { target; src; tag } -> write s target (reads s src (reads s tag acc))
+    (* Split-phase: argument reads happen at the start; the buffer write
+       happens at completion but is attributed here (the start is the
+       only program point naming the buffer).  The dynamic oracle
+       deliberately records only the argument reads, so its accesses
+       stay a subset of these.  Request variables are opaque handles
+       outside the def/use universe. *)
+    | Istart { rop = Ibarrier; _ } -> acc
+    | Istart { rop = Iallreduce { target; value; _ }; _ } ->
+        write s target (reads s value acc)
+    | Istart { rop = Isend { value; dest; tag }; _ } ->
+        reads s value (reads s dest (reads s tag acc))
+    | Istart { rop = Irecv { target; src; tag }; _ } ->
+        write s target (reads s src (reads s tag acc))
+    | Test { target; _ } -> write s target acc
     | _ -> acc
   in
   let node_accesses id =
@@ -502,6 +558,17 @@ let rank_taint g ~params =
                 if tainted_expr env e then StringSet.add x env
                 else StringSet.remove x env
             | Recv { target; _ } -> StringSet.add target env
+            (* MPI_Test's flag depends on message timing, and a received
+               buffer carries per-rank data: tainted.  An
+               MPI_Iallreduce buffer holds the replicated reduction
+               result once completed (stale reads before the wait are a
+               lifecycle error reported separately): untainted, like
+               blocking Allreduce. *)
+            | Test { target; _ } -> StringSet.add target env
+            | Istart { rop = Irecv { target; _ }; _ } ->
+                StringSet.add target env
+            | Istart { rop = Iallreduce { target; _ }; _ } ->
+                StringSet.remove target env
             | _ -> env)
           fact stmts
     | Collective { target = Some x; coll; _ } -> (

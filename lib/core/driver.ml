@@ -18,6 +18,11 @@ type options = {
   races : bool;
       (** Run the MHP-based shared-memory race pass ({!Races}) and emit
           data-race warnings. *)
+  requests : bool;
+      (** Run the request-lifecycle pass ({!Requests}) and emit
+          request-leak / double-wait / use-before-completion /
+          completion-mismatch warnings.  Also feeds the races pass's
+          happens-before refinement when both are enabled. *)
 }
 
 let default_options =
@@ -27,6 +32,7 @@ let default_options =
     taint_filter = false;
     interprocedural = false;
     races = false;
+    requests = false;
   }
 
 type func_report = {
@@ -37,6 +43,7 @@ type func_report = {
   phase2 : Concurrency.result;
   phase3 : Interproc.result;
   races : Races.result option;  (** [Some] iff [options.races]. *)
+  requests : Requests.result option;  (** [Some] iff [options.requests]. *)
   warnings : Warning.t list;
   cc_sites : int list;  (** Collective nodes that get a [CC] check. *)
 }
@@ -72,15 +79,28 @@ let analyze_func ?graph ?call_collects ?timings options (f : Ast.func) =
         Interproc.analyze ?call_collects ~actx g
           ~taint_filter:options.taint_filter ~params:f.Ast.params)
   in
+  let requests =
+    if options.requests then
+      Some
+        (time "requests" (fun () ->
+             Requests.analyze ~actx g ~taint_filter:options.taint_filter
+               ~params:f.Ast.params))
+    else None
+  in
   let races =
     if options.races then
-      Some (time "races" (fun () -> Races.analyze ~pword g f))
+      Some (time "races" (fun () -> Races.analyze ?requests ~pword g f))
     else None
   in
   let race_warnings =
     match races with
     | None -> []
     | Some r -> Races.warnings g ~fname:f.Ast.fname r
+  in
+  let request_warnings =
+    match requests with
+    | None -> []
+    | Some r -> Requests.warnings g ~fname:f.Ast.fname r
   in
   let inconsistency_warnings =
     List.map
@@ -103,7 +123,7 @@ let analyze_func ?graph ?call_collects ?timings options (f : Ast.func) =
          ~provided:options.provided_level phase1
       @ Concurrency.warnings g ~fname:f.Ast.fname phase2
       @ Interproc.warnings g ~fname:f.Ast.fname phase3
-      @ race_warnings @ inconsistency_warnings)
+      @ race_warnings @ request_warnings @ inconsistency_warnings)
   in
   {
     fname = f.Ast.fname;
@@ -113,6 +133,7 @@ let analyze_func ?graph ?call_collects ?timings options (f : Ast.func) =
     phase2;
     phase3;
     races;
+    requests;
     warnings;
     cc_sites = Interproc.cc_sites phase3;
   }
@@ -248,6 +269,32 @@ let analyze ?(options = default_options) ?graphs ?jobs ?reuse ?timings
          slots)
   in
   { program; options; funcs; call_colors }
+
+(** [filter_classes report ~only] keeps only the warnings whose class is
+    listed in [only] (every other field of the report is unchanged, so
+    instrumentation decisions are not affected).  [only = None] is the
+    identity.  The class vocabulary is {!Warning.all_classes}; callers
+    validate names before getting here ([parcoachc --only] rejects
+    unknown classes at option-parse time with the CLI-error exit). *)
+let filter_classes report ~only =
+  match only with
+  | None -> report
+  | Some classes ->
+      {
+        report with
+        funcs =
+          List.map
+            (fun fr ->
+              {
+                fr with
+                warnings =
+                  List.filter
+                    (fun w ->
+                      List.mem (Warning.class_of w.Warning.kind) classes)
+                    fr.warnings;
+              })
+            report.funcs;
+      }
 
 let all_warnings report = List.concat_map (fun fr -> fr.warnings) report.funcs
 

@@ -15,6 +15,9 @@ type options = {
   races : bool;
       (** Run the MHP-based shared-memory race pass ({!Races}) and emit
           data-race warnings. *)
+  requests : bool;
+      (** Run the request-lifecycle pass ({!Requests}); also feeds the
+          races pass's happens-before refinement when both are on. *)
 }
 
 val default_options : options
@@ -27,6 +30,7 @@ type func_report = {
   phase2 : Concurrency.result;
   phase3 : Interproc.result;
   races : Races.result option;  (** [Some] iff [options.races]. *)
+  requests : Requests.result option;  (** [Some] iff [options.requests]. *)
   warnings : Warning.t list;
   cc_sites : int list;  (** Collective nodes that get a [CC] check. *)
 }
@@ -80,6 +84,11 @@ val analyze :
   ?timings:Timings.t ->
   Minilang.Ast.program ->
   report
+
+(** Keep only the warnings whose class is in [only] ([None] = identity).
+    Shared by [parcoachc --only] and the daemon's [only] parameter; the
+    vocabulary is {!Warning.all_classes}. *)
+val filter_classes : report -> only:string list option -> report
 
 val all_warnings : report -> Warning.t list
 

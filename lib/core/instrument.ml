@@ -152,8 +152,8 @@ let instrument_func ?call_colors (fr : Driver.func_report) mode (func : Ast.func
       | Ast.Omp_sections { nowait; sections } ->
           Ast.Omp_sections { nowait; sections = List.map on_block sections }
       | ( Ast.Decl _ | Ast.Assign _ | Ast.Return | Ast.Call _ | Ast.Compute _
-        | Ast.Print _ | Ast.Coll _ | Ast.Send _ | Ast.Recv _ | Ast.Omp_barrier
-        | Ast.Check _ ) as d ->
+        | Ast.Print _ | Ast.Coll _ | Ast.Send _ | Ast.Recv _ | Ast.Istart _
+        | Ast.Wait _ | Ast.Test _ | Ast.Omp_barrier | Ast.Check _ ) as d ->
           d
     in
     let s' = { s with Ast.sdesc } in

@@ -97,6 +97,31 @@ let warning_json (w : Warning.t) =
           ("feeds_collective", if feeds_collective then "true" else "false");
           ("advice", str advice);
         ]
+    | Warning.Request_leak { req; rop; started } ->
+        [
+          ("request", str req);
+          ("operation", str rop);
+          ("start_sites", arr (List.map loc_json started));
+        ]
+    | Warning.Request_double_wait { req; prior } ->
+        [
+          ("request", str req);
+          ("prior_completions", arr (List.map loc_json prior));
+        ]
+    | Warning.Request_stale_buffer { req; var; write; started } ->
+        [
+          ("request", str req);
+          ("buffer", str var);
+          ("access", str (if write then "write" else "read"));
+          ("start_sites", arr (List.map loc_json started));
+        ]
+    | Warning.Request_completion_mismatch { req; coll; sites; conds } ->
+        [
+          ("request", str req);
+          ("collective", str coll);
+          ("wait_sites", arr (List.map loc_json sites));
+          ("conditionals", arr (List.map loc_json conds));
+        ]
   in
   obj (base @ extra)
 
@@ -144,6 +169,11 @@ let report_json ?issues (report : Driver.report) =
                 (match fr.Driver.races with
                 | None -> 0
                 | Some r -> List.length r.Races.pairs) );
+            ( "request_findings",
+              string_of_int
+                (match fr.Driver.requests with
+                | None -> 0
+                | Some r -> List.length r.Requests.findings) );
           ])
       report.Driver.funcs
   in

@@ -42,6 +42,10 @@ type access = {
   write : bool;
   loc : Loc.t;
   criticals : string list;  (** Enclosing critical names, innermost first. *)
+  completion_write : bool;
+      (** The buffer write of a split-phase start ([Istart]): performed
+          by the request's completion, so ordered before any access at a
+          node where the request is no longer in flight. *)
 }
 
 type pair = {
@@ -61,6 +65,11 @@ type result = {
       (** Conflicting shared access pairs at MHP nodes, before the
           critical refinement. *)
   critical_filtered : int;  (** Candidates discharged by a common critical. *)
+  wait_filtered : int;
+      (** Candidates discharged by the request happens-before
+          refinement: a completion write cannot race with an access at
+          which the request is definitely completed ([MPI_Wait] is an
+          ordering edge for that buffer, not a barrier). *)
   pairs : pair list;  (** Reported races, deduplicated by (var, sites). *)
 }
 
@@ -204,7 +213,8 @@ let order_pair v a1 a2 ~feeds =
     { pvar = v; a1; a2; feeds_collective = feeds }
   else { pvar = v; a1 = a2; a2 = a1; feeds_collective = feeds }
 
-let analyze ~(pword : Pword.t) (g : Cfg.Graph.t) (f : Ast.func) : result =
+let analyze ?requests ~(pword : Pword.t) (g : Cfg.Graph.t) (f : Ast.func) :
+    result =
   let sharing = Sharing.analyze f in
   let du = Cfg.Dataflow.defuse g in
   let loopy = barrier_loopy g in
@@ -231,6 +241,13 @@ let analyze ~(pword : Pword.t) (g : Cfg.Graph.t) (f : Ast.func) : result =
                     | None -> ()
                     | Some b ->
                         incr nshared;
+                        let completion_write =
+                          a.Cfg.Dataflow.du_write
+                          &&
+                          match a.Cfg.Dataflow.du_stmt.Ast.sdesc with
+                          | Ast.Istart _ -> true
+                          | _ -> false
+                        in
                         shared :=
                           {
                             node;
@@ -239,6 +256,7 @@ let analyze ~(pword : Pword.t) (g : Cfg.Graph.t) (f : Ast.func) : result =
                             write = a.Cfg.Dataflow.du_write;
                             loc = a.Cfg.Dataflow.du_loc;
                             criticals = inf.Sharing.criticals;
+                            completion_write;
                           }
                           :: !shared))
             accs)
@@ -248,6 +266,24 @@ let analyze ~(pword : Pword.t) (g : Cfg.Graph.t) (f : Ast.func) : result =
   let relevant = lazy (relevant_vars f) in
   let candidates = ref 0 in
   let filtered = ref 0 in
+  let wfiltered = ref 0 in
+  (* Happens-before discharge: exactly one side is the completion write
+     of a split-phase start, and at the other access's node the request
+     is definitely completed (so an [MPI_Wait] intervenes on every
+     path).  Restricted to distinct nodes: two dynamic instances of the
+     same start racing with each other stay reported. *)
+  let wait_ordered a1 a2 =
+    match requests with
+    | None -> false
+    | Some r ->
+        a1.node <> a2.node
+        && (match (a1.completion_write, a2.completion_write) with
+           | true, false ->
+               Requests.completion_ordered r ~node:a2.node ~var:a1.var
+           | false, true ->
+               Requests.completion_ordered r ~node:a1.node ~var:a2.var
+           | _ -> false)
+  in
   let seen = Hashtbl.create 16 in
   let pairs = ref [] in
   let consider a1 a2 =
@@ -262,6 +298,7 @@ let analyze ~(pword : Pword.t) (g : Cfg.Graph.t) (f : Ast.func) : result =
       if concurrent then begin
         incr candidates;
         if shares_critical a1 a2 then incr filtered
+        else if wait_ordered a1 a2 then incr wfiltered
         else
           let key =
             if Loc.compare a1.loc a2.loc <= 0 then
@@ -290,6 +327,7 @@ let analyze ~(pword : Pword.t) (g : Cfg.Graph.t) (f : Ast.func) : result =
     shared_accesses = !nshared;
     mhp_candidates = !candidates;
     critical_filtered = !filtered;
+    wait_filtered = !wfiltered;
     pairs = List.rev !pairs;
   }
 

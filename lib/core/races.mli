@@ -15,6 +15,9 @@ type access = {
   write : bool;
   loc : Loc.t;
   criticals : string list;
+  completion_write : bool;
+      (** The buffer write of a split-phase start, performed by the
+          request's completion. *)
 }
 
 type pair = {
@@ -32,6 +35,10 @@ type result = {
   mhp_candidates : int;
       (** Conflicting shared pairs at MHP nodes, before refinements. *)
   critical_filtered : int;
+  wait_filtered : int;
+      (** Pairs discharged by the request happens-before refinement
+          ({!Requests.completion_ordered}): an [MPI_Wait] orders the
+          completion write of its buffer — it is not a barrier. *)
   pairs : pair list;
 }
 
@@ -44,6 +51,10 @@ val mhp : phase_blind:bool -> Pword.word -> Pword.word -> bool
 (** May two dynamic instances of the same node overlap? *)
 val self_mhp : Pword.word -> bool
 
-val analyze : pword:Pword.t -> Cfg.Graph.t -> Ast.func -> result
+(** [requests], when given, enables the happens-before refinement
+    against the request-lifecycle facts of the same function. *)
+val analyze :
+  ?requests:Requests.result -> pword:Pword.t -> Cfg.Graph.t -> Ast.func ->
+  result
 
 val warnings : Cfg.Graph.t -> fname:string -> result -> Warning.t list

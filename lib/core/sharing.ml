@@ -98,7 +98,11 @@ let analyze (f : Ast.func) : t =
         List.iter (block env) sections;
         env
     | Ast.Assign _ | Ast.Return | Ast.Call _ | Ast.Compute _ | Ast.Print _
-    | Ast.Coll _ | Ast.Send _ | Ast.Recv _ | Ast.Omp_barrier | Ast.Check _ ->
+    | Ast.Coll _ | Ast.Send _ | Ast.Recv _ | Ast.Istart _ | Ast.Wait _
+    | Ast.Test _ | Ast.Omp_barrier | Ast.Check _ ->
+        (* Request variables are opaque (never readable), so [Istart]
+           introduces no binding; its buffer writes resolve through the
+           ordinary declaration of the target variable. *)
         env
   and block env b = ignore (List.fold_left stmt env b) in
   let env0 = { pdepth = 0; criticals = []; bindings = SMap.empty } in

@@ -58,6 +58,30 @@ type kind =
       (** MHP-based race pass ({!Races}): two conflicting accesses to a
           shared variable may happen in parallel with no interposed
           barrier and no common critical section. *)
+  | Request_leak of { req : string; rop : string; started : Loc.t list }
+      (** Request lifecycle ({!Requests}): a split-phase operation
+          started at [started] may reach the function exit without a
+          completing [MPI_Wait]/[MPI_Test] on some path. *)
+  | Request_double_wait of { req : string; prior : Loc.t list }
+      (** An [MPI_Wait]/[MPI_Test] reachable with the request already
+          completed at one of [prior] on some path. *)
+  | Request_stale_buffer of {
+      req : string;
+      var : string;
+      write : bool;
+      started : Loc.t list;
+    }
+      (** Access to the buffer of an in-flight buffer-receiving request:
+          the value only materialises at completion. *)
+  | Request_completion_mismatch of {
+      req : string;
+      coll : string;
+      sites : Loc.t list;
+      conds : Loc.t list;
+    }
+      (** Phase-3 check transposed to split-phase collectives: the
+          {e completion} point of the request depends on control flow
+          that may diverge across ranks. *)
 
 type t = { kind : kind; func : string; loc : Loc.t }
 
@@ -69,6 +93,26 @@ let class_of = function
   | Level_insufficient _ -> "insufficient thread level"
   | Word_inconsistency _ -> "parallelism word inconsistency"
   | Data_race _ -> "data race"
+  | Request_leak _ -> "request leak"
+  | Request_double_wait _ -> "double wait"
+  | Request_stale_buffer _ -> "use before completion"
+  | Request_completion_mismatch _ -> "completion mismatch"
+
+(** Every class string {!class_of} can produce, in report order — the
+    vocabulary of [parcoachc --only] and the daemon's [only] filter. *)
+let all_classes =
+  [
+    "multithreaded collective";
+    "concurrent collective calls";
+    "collective mismatch";
+    "insufficient thread level";
+    "parallelism word inconsistency";
+    "data race";
+    "request leak";
+    "double wait";
+    "use before completion";
+    "completion mismatch";
+  ]
 
 let pp ppf w =
   match w.kind with
@@ -117,6 +161,40 @@ let pp ppf w =
            " (the value feeds a collective argument or a conditional)"
          else "")
         advice
+  | Request_leak { req; rop; started } ->
+      Fmt.pf ppf
+        "%a: warning: %s: request '%s' (%s, started at %a) in function \
+         '%s' may reach the function exit without MPI_Wait on some path"
+        Loc.pp w.loc (class_of w.kind) req rop
+        (Fmt.list ~sep:Fmt.comma Loc.pp)
+        started w.func
+  | Request_double_wait { req; prior } ->
+      Fmt.pf ppf
+        "%a: warning: %s: request '%s' in function '%s' may already be \
+         completed here (prior completion at %a)"
+        Loc.pp w.loc (class_of w.kind) req w.func
+        (Fmt.list ~sep:Fmt.comma Loc.pp)
+        prior
+  | Request_stale_buffer { req; var; write; started } ->
+      Fmt.pf ppf
+        "%a: warning: %s: %s of buffer '%s' in function '%s' while \
+         request '%s' (started at %a) may still be in flight; the value \
+         only materialises at MPI_Wait"
+        Loc.pp w.loc (class_of w.kind)
+        (if write then "write" else "read")
+        var w.func req
+        (Fmt.list ~sep:Fmt.comma Loc.pp)
+        started
+  | Request_completion_mismatch { req; coll; sites; conds } ->
+      Fmt.pf ppf
+        "%a: warning: %s: completion of request '%s' (%s) in function \
+         '%s' (wait sites: %a) depends on the control flow at %a; ranks \
+         may not all complete it uniformly"
+        Loc.pp w.loc (class_of w.kind) req coll w.func
+        (Fmt.list ~sep:Fmt.comma Loc.pp)
+        sites
+        (Fmt.list ~sep:Fmt.comma Loc.pp)
+        conds
 
 let to_string w = Fmt.str "%a" pp w
 

@@ -38,11 +38,37 @@ type kind =
     }
       (** MHP-based race pass: conflicting accesses to a shared variable
           with no interposed barrier and no common critical section. *)
+  | Request_leak of {
+      req : string;
+      rop : string;
+      started : Minilang.Loc.t list;
+    }
+      (** Request lifecycle: started, never completed on some path. *)
+  | Request_double_wait of { req : string; prior : Minilang.Loc.t list }
+      (** Wait/test on a request that may already be completed. *)
+  | Request_stale_buffer of {
+      req : string;
+      var : string;
+      write : bool;
+      started : Minilang.Loc.t list;
+    }  (** Buffer of an in-flight request accessed before completion. *)
+  | Request_completion_mismatch of {
+      req : string;
+      coll : string;
+      sites : Minilang.Loc.t list;
+      conds : Minilang.Loc.t list;
+    }
+      (** Completion point of a split-phase collective is
+          control-dependent on a divergence point. *)
 
 type t = { kind : kind; func : string; loc : Minilang.Loc.t }
 
 (** Short classification string ("collective mismatch", ...). *)
 val class_of : kind -> string
+
+(** Every class string {!class_of} can produce — the vocabulary of the
+    CLI/daemon warning-class filters. *)
+val all_classes : string list
 
 val pp : t Fmt.t
 

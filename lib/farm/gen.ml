@@ -87,13 +87,19 @@ let collective src vars =
 (* OpenMP parallel-region bodies                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Fresh loop-variable names, one counter per generated program. *)
-type st = { mutable loops : int }
+(* Fresh loop-variable and request names, one counter each per generated
+   program. *)
+type st = { mutable loops : int; mutable reqs : int }
 
 let fresh_loop_var st =
   let n = st.loops in
   st.loops <- n + 1;
   "i" ^ string_of_int n
+
+let fresh_req_var st =
+  let n = st.reqs in
+  st.reqs <- n + 1;
+  "r" ^ string_of_int n
 
 let parallel_item st src vars =
   match choose src 8 with
@@ -120,7 +126,7 @@ let parallel_item st src vars =
 (* ------------------------------------------------------------------ *)
 
 let segment st src ~nhelpers vars =
-  match choose src 7 with
+  match choose src 8 with
   | 0 -> [ collective src vars ]
   | 1 -> [ assign (pick src vars) (uniform_expr src vars) ]
   | 2 ->
@@ -153,6 +159,25 @@ let segment st src ~nhelpers vars =
       let items = List.init n (fun _ -> parallel_item st src vars) in
       if choose src 2 = 0 then [ parallel ~num_threads:(i 2) items ]
       else [ parallel items ]
+  | 6 ->
+      (* The split-phase axis: start a nonblocking collective, overlap
+         uniform work, then complete it.  Rank-uniform like every other
+         clean construct, and the [MPI_Wait] is the injection site of
+         the wait-targeting faults ([Injector.targets_wait]). *)
+      let r = fresh_req_var st in
+      let start =
+        match choose src 2 with
+        | 0 -> ibarrier r
+        | _ ->
+            iallreduce r ~target:(pick src vars) ~op:(reduce_op src)
+              (payload src vars)
+      in
+      let overlap =
+        match choose src 2 with
+        | 0 -> []
+        | _ -> [ compute (i (1 + choose src 2)) ]
+      in
+      (start :: overlap) @ [ wait r ]
   | _ ->
       (* The racy axis: an unprotected shared read-modify-write executed
          by every thread of the team. *)
@@ -172,7 +197,7 @@ let helper src idx =
   func ("kernel" ^ string_of_int idx) (decl "t" (i idx) :: stmts)
 
 let build src =
-  let st = { loops = 0 } in
+  let st = { loops = 0; reqs = 0 } in
   let nhelpers = choose src 3 in
   let helpers = List.init nhelpers (fun k -> helper src k) in
   let nvars = 1 + choose src 3 in
@@ -206,7 +231,11 @@ let program { trace; inject } =
            first site at or after it whose injection still validates,
            and decodes to the clean skeleton when no site admits the
            bug. *)
-        let n = Benchsuite.Injector.collective_count p in
+        let n =
+          if Benchsuite.Injector.targets_wait bug then
+            Benchsuite.Injector.wait_count p
+          else Benchsuite.Injector.collective_count p
+        in
         let rec attempt k =
           if k >= n then p
           else
@@ -215,6 +244,9 @@ let program { trace; inject } =
             if Validate.is_valid (Validate.check_program cand) then cand
             else attempt (k + 1)
         in
+        (* A skeleton without split-phase operations has no [MPI_Wait]
+           sites: wait-targeting bugs then decode to the clean skeleton
+           (n = 0 skips the loop). *)
         attempt 0
   in
   number_lines p

@@ -167,6 +167,13 @@ and cdesc =
   | CCheck of ccheck
   | CSend of { value : exprc; dest : exprc; tag : exprc }
   | CRecv of { target : cell_ref; src : exprc; tag : exprc }
+  | CIstart of { rslot : int; rop : crop }
+      (** Split-phase start: performs the operation's posting half and
+          writes the fresh request id into [rslot] (the request variable
+          is an ordinary slot holding the id — the validator guarantees
+          only [MPI_Wait]/[MPI_Test] ever name it). *)
+  | CWait of { req : cell_ref }
+  | CTest of { target : cell_ref; req : cell_ref }
   | CPar of { num_threads : exprc option; nslots : int; body : cblock }
       (** [nslots]: size of each team member's private frame. *)
   | CSingle of { nowait : bool; body : cblock }
@@ -187,6 +194,12 @@ and cdesc =
       body : cblock;
     }
   | CSections of { nowait : bool; sections : cblock array }
+
+and crop =
+  | KIbarrier
+  | KIallreduce of { op : Mpisim.Op.t; target : cell_ref; value : exprc }
+  | KIsend of { value : exprc; dest : exprc; tag : exprc }
+  | KIrecv of { target : cell_ref; src : exprc; tag : exprc }
 
 and creduction = {
   r_op : Ast.reduce_op;
@@ -558,6 +571,38 @@ let rec compile_stmt ctx cenv (s : Ast.stmt) : cstmt * cenv =
       ret
         ~acc:(racc ~w:(write_of cenv target) [ src; tag ])
         (CRecv { target = cell_of cenv target; src = ev src; tag = ev tag })
+  | Ast.Istart { req; rop } ->
+      (* Accesses: argument reads only.  The request slot is opaque to
+         the race oracle, and the completion-time buffer write is not a
+         start-time access — recording it here would let the dynamic
+         oracle report races the static pass (which places the write at
+         the completion point) cannot, breaking dynamic ⊆ static. *)
+      let rop, acc =
+        match rop with
+        | Ast.Ibarrier -> (KIbarrier, [||])
+        | Ast.Iallreduce { op; target; value } ->
+            ( KIallreduce
+                {
+                  op = op_of_ast op;
+                  target = cell_of cenv target;
+                  value = ev value;
+                },
+              racc [ value ] )
+        | Ast.Isend { value; dest; tag } ->
+            ( KIsend { value = ev value; dest = ev dest; tag = ev tag },
+              racc [ value; dest; tag ] )
+        | Ast.Irecv { target; src; tag } ->
+            ( KIrecv { target = cell_of cenv target; src = ev src; tag = ev tag },
+              racc [ src; tag ] )
+      in
+      let slot = alloc cenv in
+      ({ uid; site; acc; desc = CIstart { rslot = slot; rop } },
+       declare cenv req slot)
+  | Ast.Wait { req } -> ret (CWait { req = cell_of cenv req })
+  | Ast.Test { target; req } ->
+      ret
+        ~acc:(racc ~w:(write_of cenv target) [])
+        (CTest { target = cell_of cenv target; req = cell_of cenv req })
   | Ast.Omp_parallel { num_threads; body } ->
       let acc =
         match num_threads with None -> [||] | Some e -> racc [ e ]

@@ -101,6 +101,11 @@ and cdesc =
   | CCheck of ccheck
   | CSend of { value : exprc; dest : exprc; tag : exprc }
   | CRecv of { target : cell_ref; src : exprc; tag : exprc }
+  | CIstart of { rslot : int; rop : crop }
+      (** Split-phase start: posts the operation and writes the fresh
+          request id into [rslot]. *)
+  | CWait of { req : cell_ref }
+  | CTest of { target : cell_ref; req : cell_ref }
   | CPar of { num_threads : exprc option; nslots : int; body : cblock }
   | CSingle of { nowait : bool; body : cblock }
   | CMaster of cblock
@@ -117,6 +122,12 @@ and cdesc =
       body : cblock;
     }
   | CSections of { nowait : bool; sections : cblock array }
+
+and crop =
+  | KIbarrier
+  | KIallreduce of { op : Mpisim.Op.t; target : cell_ref; value : exprc }
+  | KIsend of { value : exprc; dest : exprc; tag : exprc }
+  | KIrecv of { target : cell_ref; src : exprc; tag : exprc }
 
 and creduction = {
   r_op : Minilang.Ast.reduce_op;

@@ -74,7 +74,26 @@ type stats = {
   mutable ndegrees : int;
 }
 
-type result = { outcome : outcome; stats : stats; engine : Mpisim.Engine.t }
+(** Request-lifecycle violations observed at run time — the dynamic half
+    of the [Parcoach.Requests] oracle.  Recorded (deduplicated,
+    Raceck-style), never aborting: the run continues so one execution can
+    witness several violations. *)
+type lifecycle =
+  | Leaked_request of { rank : int; site : string }
+      (** Started at [site], never completed when the rank finished. *)
+  | Double_wait of { rank : int; site : string; start_site : string }
+      (** [MPI_Wait]/[MPI_Test] on an already-completed request. *)
+  | Stale_read of { rank : int; site : string; start_site : string }
+      (** The destination buffer of an in-flight [MPI_Irecv] /
+          [MPI_Iallreduce] was accessed before its completion (compiled
+          core only, like slot-access recording). *)
+
+type result = {
+  outcome : outcome;
+  stats : stats;
+  engine : Mpisim.Engine.t;
+  lifecycle : lifecycle list;  (** Violations, in discovery order. *)
+}
 
 type config = {
   nranks : int;
@@ -187,12 +206,37 @@ let probe_fingerprint p k =
    point-to-point matching, the instrumentation checks and the
    non-continuation half of state fingerprints. *)
 
+(* What a live request is for: a nonblocking-collective round, an eager
+   [MPI_Isend] (always completable), or a pull-at-completion [MPI_Irecv].
+   Scalar-only so the polymorphic hash covers it in fingerprints. *)
+type rkind =
+  | Rround of int  (** Nonblocking collective: engine round index. *)
+  | Rsend
+  | Rrecv of { r_src : int; r_tag : int }
+
+(** One MPI request object.  Requests are per-process (per-rank) and
+    shared by the rank's threads; a request variable's slot holds the
+    dense [rid].  [rcell] is the destination buffer of an
+    [MPI_Irecv]/[MPI_Iallreduce], written at {e completion} (the wait or
+    a successful test), never at the start. *)
+type 'c request = {
+  rid : int;
+  rrank : int;
+  rkind : rkind;
+  rsite : string;  (** Site of the start call. *)
+  mutable rdone : bool;
+  mutable rcell : 'c option;
+}
+
 type ('k, 'c) core = {
   config : config;
   engine : Mpisim.Engine.t;
   mailbox : Mpisim.Mailbox.t;
   criticals : Ompsim.Critical.t array;  (** Per-rank named locks. *)
   counters : (int * int, int) Hashtbl.t;  (** (rank, region) → live count. *)
+  requests : (int * int, 'c request) Hashtbl.t;  (** (rank, rid) → request. *)
+  req_counts : int array;  (** Next request id, per rank. *)
+  mutable lifecycle : lifecycle list;  (** Violations, newest first. *)
   stats : stats;
   find : int -> ('k, 'c) Task.t;  (** Task by engine cookie. *)
   set_cell : 'c -> int -> unit;  (** Deliver a result into a cell. *)
@@ -368,6 +412,158 @@ let enforce_thread_level (co : _ core) task site =
                  provided = co.config.thread_level;
                })))
 
+(* ------------------------------------------------------------------ *)
+(* Nonblocking requests (split-phase operations)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Deduplicated recording: a violation re-witnessed on every loop
+   iteration (or by several threads of the rank) counts once.  The
+   variants carry only ints and strings, so structural equality is
+   exact. *)
+let record_lifecycle (co : _ core) v =
+  if not (List.mem v co.lifecycle) then co.lifecycle <- v :: co.lifecycle
+
+let new_request (co : _ core) ~rank ~site rkind ~cell =
+  let rid = co.req_counts.(rank) in
+  co.req_counts.(rank) <- rid + 1;
+  Hashtbl.replace co.requests (rank, rid)
+    { rid; rrank = rank; rkind; rsite = site; rdone = false; rcell = cell };
+  rid
+
+let find_request (co : _ core) ~rank ~site rid =
+  match Hashtbl.find_opt co.requests (rank, rid) with
+  | Some r -> r
+  | None -> fail_eval rank site "invalid request value %d" rid
+
+(* Attempt to complete a started request; on success, deliver the
+   operation's result into the destination buffer (the completion-time
+   write of the split-phase semantics) and return [true]. *)
+let try_complete_request (co : _ core) (r : _ request) =
+  match r.rkind with
+  | Rsend ->
+      (* The message was delivered eagerly at the start. *)
+      r.rdone <- true;
+      true
+  | Rround round ->
+      if round < Mpisim.Engine.nb_completed_rounds co.engine then begin
+        (match r.rcell with
+        | Some c ->
+            co.set_cell c
+              (Mpisim.Engine.nb_result co.engine ~round ~rank:r.rrank)
+        | None -> ());
+        r.rcell <- None;
+        r.rdone <- true;
+        true
+      end
+      else false
+  | Rrecv { r_src; r_tag } -> (
+      emit_event co (Dpor.EMail { dst = r.rrank });
+      match
+        Mpisim.Mailbox.recv co.mailbox ~dst:r.rrank ~src:r_src ~tag:r_tag
+      with
+      | Some m ->
+          (match r.rcell with
+          | Some c -> co.set_cell c m.Mpisim.Mailbox.value
+          | None -> ());
+          r.rcell <- None;
+          r.rdone <- true;
+          true
+      | None -> false)
+
+(* Re-examine every task blocked in [MPI_Wait]: new completions (a
+   nonblocking round closed, a message arrived) may unblock them.  A
+   waiter whose request was meanwhile completed by another thread is a
+   double wait: record it and release the waiter, matching the
+   non-blocked path below. *)
+let wake_waiters (co : _ core) =
+  co.iter_tasks (fun t ->
+      match t.Task.status with
+      | Task.Blocked (Task.At_wait { rid; site }) -> (
+          match Hashtbl.find_opt co.requests (t.Task.rank, rid) with
+          | None -> ()
+          | Some r ->
+              if r.rdone then begin
+                record_lifecycle co
+                  (Double_wait
+                     { rank = t.Task.rank; site; start_site = r.rsite });
+                t.Task.status <- Task.Runnable
+              end
+              else if try_complete_request co r then
+                t.Task.status <- Task.Runnable)
+      | _ -> ())
+
+(* Advance the engine's nonblocking rounds after a new post; a completed
+   round may release waiters, a mismatched one aborts exactly like a
+   blocking-collective mismatch. *)
+let nb_drain (co : _ core) =
+  match Mpisim.Engine.nb_advance co.engine with
+  | [] -> ()
+  | outcomes ->
+      List.iter
+        (function
+          | Mpisim.Engine.Nb_mismatch { calls; _ } ->
+              raise (Abort_exn (Fault (Mismatch calls)))
+          | Mpisim.Engine.Nb_completed _ -> ())
+        outcomes;
+      wake_waiters co
+
+let istart_round (co : _ core) task call ~cell ~site =
+  emit_event co (Dpor.EColl { rank = task.Task.rank });
+  let round =
+    Mpisim.Engine.nb_post co.engine ~rank:task.Task.rank ~cookie:task.Task.id
+      call
+  in
+  let rid =
+    new_request co ~rank:task.Task.rank ~site (Rround round) ~cell
+  in
+  nb_drain co;
+  rid
+
+let istart_recv (co : _ core) task ~cell ~src ~tag ~site =
+  emit_event co (Dpor.EMail { dst = task.Task.rank });
+  new_request co ~rank:task.Task.rank ~site
+    (Rrecv { r_src = src; r_tag = tag })
+    ~cell:(Some cell)
+
+(* [MPI_Wait]: completes the request or blocks until it is completable.
+   Waiting an already-completed request is the double-wait violation; it
+   returns immediately (the deterministic stand-in for MPI's
+   use-after-free undefined behaviour). *)
+let exec_wait (co : _ core) task ~rid ~site =
+  emit_event co (Dpor.EColl { rank = task.Task.rank });
+  let r = find_request co ~rank:task.Task.rank ~site rid in
+  if r.rdone then
+    record_lifecycle co
+      (Double_wait { rank = task.Task.rank; site; start_site = r.rsite })
+  else if not (try_complete_request co r) then
+    task.Task.status <- Task.Blocked (Task.At_wait { rid; site })
+
+(* [MPI_Test]: never blocks; returns 1 (and completes the request) when
+   completable, 0 otherwise.  Testing a completed request records the
+   double wait and reports completion. *)
+let exec_test (co : _ core) task ~rid ~site =
+  emit_event co (Dpor.EColl { rank = task.Task.rank });
+  let r = find_request co ~rank:task.Task.rank ~site rid in
+  if r.rdone then begin
+    record_lifecycle co
+      (Double_wait { rank = task.Task.rank; site; start_site = r.rsite });
+    1
+  end
+  else if try_complete_request co r then 1
+  else 0
+
+(* Requests still in flight when the job finished: the dynamic witness of
+   the static request-leak warning. *)
+let collect_leaks (co : _ core) =
+  for rank = 0 to co.config.nranks - 1 do
+    for rid = 0 to co.req_counts.(rank) - 1 do
+      match Hashtbl.find_opt co.requests (rank, rid) with
+      | Some r when not r.rdone ->
+          record_lifecycle co (Leaked_request { rank; site = r.rsite })
+      | Some _ | None -> ()
+    done
+  done
+
 let do_send (co : _ core) task ~value ~dst ~tag ~site =
   if dst < 0 || dst >= co.config.nranks then
     fail_eval task.Task.rank site "send destination %d out of range" dst;
@@ -385,7 +581,13 @@ let do_send (co : _ core) task ~value ~dst ~tag ~site =
               t.Task.wait_cell <- None;
               t.Task.status <- Task.Runnable
           | None -> ())
-      | _ -> ())
+      | _ -> ());
+  (* ... or a task blocked in [MPI_Wait] on a matching [MPI_Irecv]. *)
+  if Hashtbl.length co.requests > 0 then wake_waiters co
+
+let istart_send (co : _ core) task ~value ~dst ~tag ~site =
+  do_send co task ~value ~dst ~tag ~site;
+  new_request co ~rank:task.Task.rank ~site Rsend ~cell:None
 
 (* Source range already checked by the caller (before resolving the
    target cell, to match the reference's error order). *)
@@ -517,7 +719,39 @@ let plumbing_hash (co : _ core) ~pos_of_id h =
       h
       (Mpisim.Engine.pending co.engine)
   in
-  let h = ref h in
+  (* Split-phase state: unmatched posts (rank order, FIFO), the completed
+     round counter with the retained per-round results (a completed round
+     whose value was not yet waited for is live state), and the request
+     tables (dense per-rank id order; scalar fields only — the
+     destination cell's value is already covered by the environment
+     hashes). *)
+  let h =
+    List.fold_left
+      (fun h (rc : Mpisim.Engine.rank_call) ->
+        mix
+          (mix (mix h rc.Mpisim.Engine.rank)
+             (pos_of_id rc.Mpisim.Engine.cookie))
+          (Hashtbl.hash
+             ( Mpisim.Coll.signature rc.Mpisim.Engine.call,
+               rc.Mpisim.Engine.call.Mpisim.Coll.payload )))
+      h
+      (Mpisim.Engine.nb_pending co.engine)
+  in
+  let rounds = Mpisim.Engine.nb_completed_rounds co.engine in
+  let h = ref (mix h rounds) in
+  for round = 0 to rounds - 1 do
+    for rank = 0 to co.config.nranks - 1 do
+      h := mix !h (Mpisim.Engine.nb_result co.engine ~round ~rank)
+    done
+  done;
+  for rank = 0 to co.config.nranks - 1 do
+    for rid = 0 to co.req_counts.(rank) - 1 do
+      match Hashtbl.find_opt co.requests (rank, rid) with
+      | None -> ()
+      | Some r ->
+          h := mix !h (Hashtbl.hash (rank, rid, r.rkind, r.rdone, r.rsite))
+    done
+  done;
   for rank = 0 to co.config.nranks - 1 do
     List.iter
       (fun (m : Mpisim.Mailbox.message) ->
@@ -735,6 +969,39 @@ let exec_check st (task : rtask) site (check : Ast.check) =
   | Ast.Count_enter { region } -> check_count_enter st.core task ~region ~site
   | Ast.Count_exit { region } -> check_count_exit st.core task ~region
 
+(* Execute the posting half of a split-phase operation; returns the fresh
+   request id the caller binds to the request variable. *)
+let exec_istart st (task : rtask) env site (rop : Ast.request_op) =
+  let ev e = eval st task env site e in
+  let cell_of x =
+    try Env.cell x env
+    with Env.Unbound x -> fail_eval task.Task.rank site "unbound variable '%s'" x
+  in
+  enforce_thread_level st.core task site;
+  match rop with
+  | Ast.Ibarrier ->
+      istart_round st.core task
+        (Mpisim.Coll.make Mpisim.Coll.Barrier ~payload:0 ~site ())
+        ~cell:None ~site
+  | Ast.Iallreduce { op; target; value } ->
+      let payload = ev value in
+      let cell = cell_of target in
+      istart_round st.core task
+        (Mpisim.Coll.make Mpisim.Coll.Allreduce ~op:(op_of_ast op) ~payload
+           ~site ())
+        ~cell:(Some cell) ~site
+  | Ast.Isend { value; dest; tag } ->
+      let v = ev value and dst = ev dest and tag = ev tag in
+      istart_send st.core task ~value:v ~dst ~tag ~site
+  | Ast.Irecv { target; src; tag } ->
+      let src = ev src and tag = ev tag in
+      if
+        src <> Mpisim.Mailbox.any_source
+        && (src < 0 || src >= st.core.config.nranks)
+      then fail_eval task.Task.rank site "receive source %d out of range" src;
+      let cell = cell_of target in
+      istart_recv st.core task ~cell ~src ~tag ~site
+
 let push_single_body (task : rtask) body env ~team ~nowait =
   task.Task.konts <-
     Task.Kenter_single
@@ -746,7 +1013,25 @@ let exec_stmt st (task : rtask) (s : Ast.stmt) env =
   let site = Loc.to_string s.Ast.sloc in
   let ev e = eval st task env site e in
   match s.Ast.sdesc with
-  | Ast.Decl _ -> assert false (* handled in [step] to thread the env *)
+  | Ast.Decl _ | Ast.Istart _ ->
+      assert false (* handled in [step] to thread the env *)
+  | Ast.Wait { req } ->
+      let rid =
+        try Env.lookup req env
+        with Env.Unbound x ->
+          fail_eval task.Task.rank site "unbound variable '%s'" x
+      in
+      exec_wait st.core task ~rid ~site
+  | Ast.Test { target; req } -> (
+      let rid =
+        try Env.lookup req env
+        with Env.Unbound x ->
+          fail_eval task.Task.rank site "unbound variable '%s'" x
+      in
+      let v = exec_test st.core task ~rid ~site in
+      try Env.assign target v env
+      with Env.Unbound x ->
+        fail_eval task.Task.rank site "unbound variable '%s'" x)
   | Ast.Assign (x, e) -> (
       let v = ev e in
       try Env.assign x v env
@@ -922,6 +1207,12 @@ let step st (task : rtask) =
           | Ast.Decl (x, e) ->
               let v = eval st task env (Loc.to_string s.Ast.sloc) e in
               task.Task.konts <- Task.Kseq (ss, Env.declare x v env) :: rest
+          | Ast.Istart { req; rop } ->
+              (* Like [Decl]: binds the request variable (to the fresh
+                 request id) for the rest of the block. *)
+              let rid = exec_istart st task env (Loc.to_string s.Ast.sloc) rop in
+              task.Task.konts <-
+                Task.Kseq (ss, Env.declare req rid env) :: rest
           | _ ->
               task.Task.konts <- Task.Kseq (ss, env) :: rest;
               exec_stmt st task s env)
@@ -993,6 +1284,21 @@ let pp_error ppf = function
         rank site Mpisim.Thread_level.pp required Mpisim.Thread_level.pp
         provided
 
+let pp_lifecycle ppf = function
+  | Leaked_request { rank; site } ->
+      Fmt.pf ppf "request leak on rank %d: request started at %s was never \
+                  completed" rank site
+  | Double_wait { rank; site; start_site } ->
+      Fmt.pf ppf
+        "double completion on rank %d at %s: the request started at %s was \
+         already completed"
+        rank site start_site
+  | Stale_read { rank; site; start_site } ->
+      Fmt.pf ppf
+        "use before completion on rank %d at %s: the buffer of the request \
+         started at %s is still in flight"
+        rank site start_site
+
 let pp_outcome ppf = function
   | Finished -> Fmt.string ppf "finished"
   | Aborted e -> Fmt.pf ppf "aborted by verification check: %a" pp_error e
@@ -1045,6 +1351,9 @@ let run_reference ?(config = default_config) ?probe (program : Ast.program) =
       mailbox = Mpisim.Mailbox.create ~nranks:config.nranks;
       criticals = Array.init config.nranks (fun _ -> Ompsim.Critical.create ());
       counters = Hashtbl.create 16;
+      requests = Hashtbl.create 16;
+      req_counts = Array.make config.nranks 0;
+      lifecycle = [];
       stats = make_stats ~degree_cap;
       find = (fun id -> Hashtbl.find task_tbl id);
       set_cell = (fun c v -> c := v);
@@ -1143,7 +1452,13 @@ let run_reference ?(config = default_config) ?probe (program : Ast.program) =
       loop ()
     with Abort_exn o -> o
   in
-  { outcome; stats = core.stats; engine = core.engine }
+  if outcome = Finished then collect_leaks core;
+  {
+    outcome;
+    stats = core.stats;
+    engine = core.engine;
+    lifecycle = List.rev core.lifecycle;
+  }
 
 (* ================================================================== *)
 (* Compiled core: executes the slot-resolved form of {!Compile}          *)
@@ -1299,8 +1614,29 @@ let cpush_single_body (task : ctask) body frame ~team ~nowait =
 
 (* Feed the recorded slot accesses of one executed statement (or one
    loop-back condition re-evaluation) to the race oracle and, as
-   footprints, to the DPOR recorder. *)
+   footprints, to the DPOR recorder — and screen them against the
+   destination buffers of in-flight requests: touching the target of an
+   [MPI_Irecv]/[MPI_Iallreduce] before its completion is the
+   use-before-completion lifecycle violation (compiled core only, like
+   the slot-access recording itself). *)
 let crecord_accesses st (task : ctask) ~site ~frame acc =
+  if Hashtbl.length st.core.requests > 0 then
+    Array.iter
+      (fun (a : Compile.access) ->
+        let fr = Compile.up frame a.Compile.a_hops in
+        Hashtbl.iter
+          (fun _ (r : Compile.loc request) ->
+            if not r.rdone then
+              match r.rcell with
+              | Some l
+                when l.Compile.l_frame == fr
+                     && l.Compile.l_slot = a.Compile.a_slot ->
+                  record_lifecycle st.core
+                    (Stale_read
+                       { rank = task.Task.rank; site; start_site = r.rsite })
+              | Some _ | None -> ())
+          st.core.requests)
+      acc;
   (match st.core.events with
   | None -> ()
   | Some emit ->
@@ -1424,6 +1760,63 @@ let cexec_stmt st (task : ctask) (cs : Compile.cstmt) frame =
             fail_eval task.Task.rank site "unbound variable '%s'" x
       in
       recv_attempt st.core task cell ~src ~tag ~site
+  | Compile.CIstart { rslot; rop } ->
+      enforce_thread_level st.core task site;
+      let cell_of = function
+        | Compile.CRef vr -> loc_of_vref frame vr
+        | Compile.CUnbound x ->
+            fail_eval task.Task.rank site "unbound variable '%s'" x
+      in
+      let rid =
+        match rop with
+        | Compile.KIbarrier ->
+            istart_round st.core task
+              (Mpisim.Coll.make Mpisim.Coll.Barrier ~payload:0 ~site ())
+              ~cell:None ~site
+        | Compile.KIallreduce { op; target; value } ->
+            let payload = value ec frame in
+            let cell = cell_of target in
+            istart_round st.core task
+              (Mpisim.Coll.make Mpisim.Coll.Allreduce ~op ~payload ~site ())
+              ~cell:(Some cell) ~site
+        | Compile.KIsend { value; dest; tag } ->
+            let v = value ec frame in
+            let dst = dest ec frame in
+            let tag = tag ec frame in
+            istart_send st.core task ~value:v ~dst ~tag ~site
+        | Compile.KIrecv { target; src; tag } ->
+            let src = src ec frame in
+            let tag = tag ec frame in
+            if
+              src <> Mpisim.Mailbox.any_source
+              && (src < 0 || src >= st.core.config.nranks)
+            then
+              fail_eval task.Task.rank site "receive source %d out of range"
+                src;
+            let cell = cell_of target in
+            istart_recv st.core task ~cell ~src ~tag ~site
+      in
+      frame.Compile.slots.(rslot) <- rid
+  | Compile.CWait { req } ->
+      let rid =
+        match req with
+        | Compile.CRef vr -> Compile.read_loc (loc_of_vref frame vr)
+        | Compile.CUnbound x ->
+            fail_eval task.Task.rank site "unbound variable '%s'" x
+      in
+      exec_wait st.core task ~rid ~site
+  | Compile.CTest { target; req } -> (
+      let rid =
+        match req with
+        | Compile.CRef vr -> Compile.read_loc (loc_of_vref frame vr)
+        | Compile.CUnbound x ->
+            fail_eval task.Task.rank site "unbound variable '%s'" x
+      in
+      let v = exec_test st.core task ~rid ~site in
+      match target with
+      | Compile.CRef vr -> Compile.write_loc (loc_of_vref frame vr) v
+      | Compile.CUnbound x ->
+          fail_eval task.Task.rank site "unbound variable '%s'" x)
   | Compile.CPar { num_threads; nslots; body } ->
       let n =
         match num_threads with
@@ -1639,6 +2032,9 @@ let run_compiled ?(config = default_config) ?probe ?race ?recorder ?on_engine
       mailbox = Mpisim.Mailbox.create ~nranks:config.nranks;
       criticals = Array.init config.nranks (fun _ -> Ompsim.Critical.create ());
       counters = Hashtbl.create 16;
+      requests = Hashtbl.create 16;
+      req_counts = Array.make config.nranks 0;
+      lifecycle = [];
       stats = make_stats ~degree_cap;
       find = (fun id -> !ctasks.(id));
       set_cell = Compile.write_loc;
@@ -1769,7 +2165,13 @@ let run_compiled ?(config = default_config) ?probe ?race ?recorder ?on_engine
   (* Snapshot the last recorded step's clock (the next begin_step would
      have done it; there is none after the run ends or aborts). *)
   (match recorder with Some d -> Dpor.finalize d | None -> ());
-  { outcome; stats = core.stats; engine = core.engine }
+  if outcome = Finished then collect_leaks core;
+  {
+    outcome;
+    stats = core.stats;
+    engine = core.engine;
+    lifecycle = List.rev core.lifecycle;
+  }
 
 (** Execute [program] (already validated) with the compiled core:
     [make] + {!run_compiled}.  [probe], when given, turns on the

@@ -42,7 +42,30 @@ type stats = {
   mutable ndegrees : int;
 }
 
-type result = { outcome : outcome; stats : stats; engine : Mpisim.Engine.t }
+(** A request-lifecycle violation observed by the runtime checker (in the
+    spirit of the dynamic race oracle {!Raceck}): recorded, deduplicated,
+    never aborting, so a run reports every distinct violation it
+    witnessed.  [site] is where the violation fired; [start_site] is
+    where the offending request was started. *)
+type lifecycle =
+  | Leaked_request of { rank : int; site : string }
+      (** Request started at [site] but never completed by [MPI_Wait] or
+          a successful [MPI_Test] (reported only on [Finished] runs). *)
+  | Double_wait of { rank : int; site : string; start_site : string }
+      (** [MPI_Wait]/[MPI_Test] at [site] on an already-completed
+          request. *)
+  | Stale_read of { rank : int; site : string; start_site : string }
+      (** Statement at [site] accessed the buffer of an in-flight
+          [MPI_Irecv]/[MPI_Iallreduce] (compiled core only). *)
+
+type result = {
+  outcome : outcome;
+  stats : stats;
+  engine : Mpisim.Engine.t;
+  lifecycle : lifecycle list;
+      (** Lifecycle violations in discovery order (empty when the runtime
+          checker saw none). *)
+}
 
 type config = {
   nranks : int;
@@ -61,6 +84,8 @@ type config = {
 val default_config : config
 
 val pp_error : error Fmt.t
+
+val pp_lifecycle : lifecycle Fmt.t
 
 val pp_outcome : outcome Fmt.t
 

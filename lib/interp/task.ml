@@ -48,6 +48,11 @@ type block_reason =
   | At_critical of { name : string; site : string }
   | At_recv of { src : int; tag : int; site : string }
       (** Blocking receive with no matching message yet. *)
+  | At_wait of { rid : int; site : string }
+      (** [MPI_Wait] on a request not yet completable (its nonblocking
+          round is missing posts, or its [MPI_Irecv] has no matching
+          message).  Carries only ints and strings so {!status_hash}'s
+          polymorphic hash stays exact. *)
 
 type status = Runnable | Blocked of block_reason | Finished
 
@@ -122,6 +127,8 @@ let describe_block_reason = function
       Printf.sprintf "in MPI_Recv(src=%s, tag=%d) at %s"
         (if src < 0 then "ANY" else string_of_int src)
         tag site
+  | At_wait { rid; site } ->
+      Printf.sprintf "in MPI_Wait(request #%d) at %s" rid site
 
 let describe t =
   Printf.sprintf "rank %d thread %d%s" t.rank t.tid

@@ -37,6 +37,8 @@ type block_reason =
   | At_join
   | At_critical of { name : string; site : string }
   | At_recv of { src : int; tag : int; site : string }
+  | At_wait of { rid : int; site : string }
+      (** [MPI_Wait] on a request not yet completable. *)
 
 type status = Runnable | Blocked of block_reason | Finished
 

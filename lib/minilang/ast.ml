@@ -59,6 +59,18 @@ type collective =
   | Scan of { op : reduce_op; value : expr }
   | Reduce_scatter of { op : reduce_op; value : expr }
 
+(** Nonblocking (split-phase) MPI operations.  Each starts an operation
+    and binds a request value; the operation only completes at a matching
+    [Wait]/[Test].  Buffer-receiving operations ([Irecv], [Iallreduce])
+    name the destination variable, which must not be read between start
+    and completion. *)
+type request_op =
+  | Ibarrier
+  | Iallreduce of { op : reduce_op; target : string; value : expr }
+  | Isend of { value : expr; dest : expr; tag : expr }
+  | Irecv of { target : string; src : expr; tag : expr }
+      (** A [src] of [-1] is MPI_ANY_SOURCE (wildcard). *)
+
 (** Runtime checks inserted by the instrumentation pass (never parsed).
 
     [Cc_next_collective] and [Cc_return] implement the paper's [CC]
@@ -95,6 +107,16 @@ and sdesc =
   | Recv of { target : string; src : expr; tag : expr }
       (** [x = MPI_Recv(src, tag);] — blocking receive; a [src] of [-1]
           is MPI_ANY_SOURCE. *)
+  | Istart of { req : string; rop : request_op }
+      (** [r = MPI_Ibarrier();] etc. — starts a split-phase operation and
+          declares the request variable [req] (block-scoped, like
+          [Decl]).  Request variables are opaque: only [Wait]/[Test] may
+          name them. *)
+  | Wait of { req : string }
+      (** [MPI_Wait(r);] — blocks until the request completes. *)
+  | Test of { target : string; req : string }
+      (** [t = MPI_Test(r);] — nonblocking completion poll; writes 1 into
+          [target] (completing the request) if complete, else 0. *)
   | Omp_parallel of { num_threads : expr option; body : block }
   | Omp_single of { nowait : bool; body : block }
   | Omp_master of block
@@ -202,6 +224,30 @@ let all_collective_names =
     "MPI_Reduce_scatter";
   ]
 
+(** The MPI name of a split-phase operation start. *)
+let request_op_name = function
+  | Ibarrier -> "MPI_Ibarrier"
+  | Iallreduce _ -> "MPI_Iallreduce"
+  | Isend _ -> "MPI_Isend"
+  | Irecv _ -> "MPI_Irecv"
+
+let all_request_op_names =
+  [ "MPI_Ibarrier"; "MPI_Iallreduce"; "MPI_Isend"; "MPI_Irecv" ]
+
+(** The buffer variable a split-phase operation writes at completion,
+    if any ([Irecv]/[Iallreduce]). *)
+let request_buffer = function
+  | Ibarrier | Isend _ -> None
+  | Iallreduce { target; _ } | Irecv { target; _ } -> Some target
+
+(** The blocking collective a split-phase collective start corresponds
+    to, if any: an [Ibarrier]/[Iallreduce] round must match the same
+    signature across ranks as its blocking counterpart. *)
+let request_collective = function
+  | Ibarrier -> Some Barrier
+  | Iallreduce { op; value; _ } -> Some (Allreduce { op; value })
+  | Isend _ | Irecv _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Traversals                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -225,7 +271,8 @@ let rec fold_stmts f acc block =
       | Omp_sections { sections; _ } ->
           List.fold_left (fold_stmts f) acc sections
       | Decl _ | Assign _ | Return | Call _ | Compute _ | Print _ | Coll _
-      | Send _ | Recv _ | Omp_barrier | Check _ ->
+      | Send _ | Recv _ | Istart _ | Wait _ | Test _ | Omp_barrier | Check _
+        ->
           acc)
     acc block
 
@@ -268,7 +315,8 @@ let map_blocks f func =
       | Omp_sections { nowait; sections } ->
           Omp_sections { nowait; sections = List.map on_block sections }
       | ( Decl _ | Assign _ | Return | Call _ | Compute _ | Print _ | Coll _
-        | Send _ | Recv _ | Omp_barrier | Check _ ) as d ->
+        | Send _ | Recv _ | Istart _ | Wait _ | Test _ | Omp_barrier
+        | Check _ ) as d ->
           d
     in
     { s with sdesc }
@@ -312,6 +360,21 @@ let equal_collective a b =
       _ ) ->
       false
 
+let equal_request_op a b =
+  match (a, b) with
+  | Ibarrier, Ibarrier -> true
+  | Iallreduce a, Iallreduce b ->
+      a.op = b.op
+      && String.equal a.target b.target
+      && equal_expr a.value b.value
+  | Isend a, Isend b ->
+      equal_expr a.value b.value && equal_expr a.dest b.dest
+      && equal_expr a.tag b.tag
+  | Irecv a, Irecv b ->
+      String.equal a.target b.target
+      && equal_expr a.src b.src && equal_expr a.tag b.tag
+  | (Ibarrier | Iallreduce _ | Isend _ | Irecv _), _ -> false
+
 let rec equal_stmt a b =
   match (a.sdesc, b.sdesc) with
   | Decl (x, e), Decl (y, f) -> String.equal x y && equal_expr e f
@@ -354,11 +417,16 @@ let rec equal_stmt a b =
   | Recv r1, Recv r2 ->
       String.equal r1.target r2.target && equal_expr r1.src r2.src
       && equal_expr r1.tag r2.tag
+  | Istart s1, Istart s2 ->
+      String.equal s1.req s2.req && equal_request_op s1.rop s2.rop
+  | Wait w1, Wait w2 -> String.equal w1.req w2.req
+  | Test t1, Test t2 ->
+      String.equal t1.target t2.target && String.equal t1.req t2.req
   | Check c1, Check c2 -> c1 = c2
   | ( ( Decl _ | Assign _ | If _ | While _ | For _ | Return | Call _
-      | Compute _ | Print _ | Coll _ | Send _ | Recv _ | Omp_parallel _
-      | Omp_single _ | Omp_master _ | Omp_critical _ | Omp_barrier
-      | Omp_for _ | Omp_sections _ | Check _ ),
+      | Compute _ | Print _ | Coll _ | Send _ | Recv _ | Istart _ | Wait _
+      | Test _ | Omp_parallel _ | Omp_single _ | Omp_master _
+      | Omp_critical _ | Omp_barrier | Omp_for _ | Omp_sections _ | Check _ ),
       _ ) ->
       false
 

@@ -49,6 +49,17 @@ type collective =
   | Scan of { op : reduce_op; value : expr }
   | Reduce_scatter of { op : reduce_op; value : expr }
 
+(** Nonblocking (split-phase) MPI operations: started by [Istart] (which
+    binds a request value), completed by [Wait]/[Test].  Buffer-receiving
+    operations ([Irecv], [Iallreduce]) name the destination variable,
+    which must not be read between start and completion. *)
+type request_op =
+  | Ibarrier
+  | Iallreduce of { op : reduce_op; target : string; value : expr }
+  | Isend of { value : expr; dest : expr; tag : expr }
+  | Irecv of { target : string; src : expr; tag : expr }
+      (** [src = -1] is MPI_ANY_SOURCE (wildcard). *)
+
 (** Runtime checks inserted by the instrumentation pass: the [CC]
     agreement (before collectives and returns) and the concurrency
     counters of the sets [Sipw]/[Scc]. *)
@@ -77,6 +88,12 @@ and sdesc =
       (** Eager point-to-point send (outside the analyses' scope). *)
   | Recv of { target : string; src : expr; tag : expr }
       (** Blocking receive; [src = -1] is MPI_ANY_SOURCE. *)
+  | Istart of { req : string; rop : request_op }
+      (** [r = MPI_Ibarrier();] etc. — starts a split-phase operation and
+          declares the (opaque, block-scoped) request variable [req]. *)
+  | Wait of { req : string }  (** [MPI_Wait(r);] — block until complete. *)
+  | Test of { target : string; req : string }
+      (** [t = MPI_Test(r);] — poll; writes 1 (completing) or 0. *)
   | Omp_parallel of { num_threads : expr option; body : block }
   | Omp_single of { nowait : bool; body : block }
   | Omp_master of block
@@ -122,6 +139,18 @@ val cc_return_color : int
 
 val all_collective_names : string list
 
+(** MPI name of a split-phase start ("MPI_Ibarrier", ...). *)
+val request_op_name : request_op -> string
+
+val all_request_op_names : string list
+
+(** Completion-time destination buffer ([Irecv]/[Iallreduce]), if any. *)
+val request_buffer : request_op -> string option
+
+(** Blocking collective with the same matching signature, if the
+    operation is collective ([Ibarrier]/[Iallreduce]). *)
+val request_collective : request_op -> collective option
+
 (** Fold over every statement of a block in source order, nested blocks
     included. *)
 val fold_stmts : ('a -> stmt -> 'a) -> 'a -> block -> 'a
@@ -143,6 +172,8 @@ val map_blocks : (block -> block) -> func -> func
 val equal_expr : expr -> expr -> bool
 
 val equal_collective : collective -> collective -> bool
+
+val equal_request_op : request_op -> request_op -> bool
 
 val equal_stmt : stmt -> stmt -> bool
 

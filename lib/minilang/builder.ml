@@ -111,6 +111,24 @@ let send ~dest ?(tag = Int 0) value = mk (Send { value; dest; tag })
 
 let recv ~target ~src ?(tag = Int 0) () = mk (Recv { target; src; tag })
 
+(* Split-phase (nonblocking) operations *)
+
+let istart req rop = mk (Istart { req; rop })
+
+let ibarrier req = istart req Ibarrier
+
+let iallreduce req ~target ~op value =
+  istart req (Iallreduce { op; target; value })
+
+let isend req ~dest ?(tag = Int 0) value = istart req (Isend { value; dest; tag })
+
+let irecv req ~target ~src ?(tag = Int 0) () =
+  istart req (Irecv { target; src; tag })
+
+let wait req = mk (Wait { req })
+
+let test ~target req = mk (Test { target; req })
+
 (* OpenMP ------------------------------------------------------------ *)
 
 let parallel ?num_threads body = mk (Omp_parallel { num_threads; body })
@@ -169,7 +187,8 @@ let number_lines program =
       | Omp_sections { nowait; sections } ->
           Omp_sections { nowait; sections = List.map on_block sections }
       | ( Decl _ | Assign _ | Return | Call _ | Compute _ | Print _ | Coll _
-        | Send _ | Recv _ | Omp_barrier | Check _ ) as d ->
+        | Send _ | Recv _ | Istart _ | Wait _ | Test _ | Omp_barrier
+        | Check _ ) as d ->
           d
     in
     { s with sdesc }

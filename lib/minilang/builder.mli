@@ -105,6 +105,24 @@ val send : dest:Ast.expr -> ?tag:Ast.expr -> Ast.expr -> Ast.stmt
 
 val recv : target:string -> src:Ast.expr -> ?tag:Ast.expr -> unit -> Ast.stmt
 
+(* Split-phase (nonblocking) operations *)
+
+val istart : string -> Ast.request_op -> Ast.stmt
+
+val ibarrier : string -> Ast.stmt
+
+val iallreduce :
+  string -> target:string -> op:Ast.reduce_op -> Ast.expr -> Ast.stmt
+
+val isend : string -> dest:Ast.expr -> ?tag:Ast.expr -> Ast.expr -> Ast.stmt
+
+val irecv :
+  string -> target:string -> src:Ast.expr -> ?tag:Ast.expr -> unit -> Ast.stmt
+
+val wait : string -> Ast.stmt
+
+val test : target:string -> string -> Ast.stmt
+
 (* OpenMP *)
 
 val parallel : ?num_threads:Ast.expr -> Ast.block -> Ast.stmt

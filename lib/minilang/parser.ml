@@ -9,6 +9,9 @@
                | IDENT "=" expr ";"            (assignment)
                | IDENT "=" MPI_coll ";"        (collective with result)
                | MPI_coll ";"                  (collective)
+               | IDENT "=" MPI_istart ";"      (split-phase start, binds request)
+               | "MPI_Wait" "(" IDENT ")" ";"
+               | IDENT "=" "MPI_Test" "(" IDENT ")" ";"
                | IDENT "(" args ")" ";"        (procedure call / intrinsic stmt)
                | "if" "(" expr ")" block ["else" block]
                | "while" "(" expr ")" block
@@ -249,6 +252,43 @@ let parse_collective st name =
   eat st RPAREN;
   c
 
+let is_request_op_name name = List.mem name all_request_op_names
+
+(** Parses the argument list of split-phase start [name]; the leading
+    ['('] has not been consumed.  [MPI_Iallreduce]/[MPI_Irecv] take the
+    destination buffer variable as their first argument (the request
+    variable itself is on the left of the [=]). *)
+let parse_request_op st name =
+  eat st LPAREN;
+  let rop =
+    match name with
+    | "MPI_Ibarrier" -> Ibarrier
+    | "MPI_Iallreduce" ->
+        let target = eat_ident st in
+        eat st COMMA;
+        let value = parse_expr st in
+        eat st COMMA;
+        let op = parse_reduce_op st in
+        Iallreduce { op; target; value }
+    | "MPI_Isend" ->
+        let value = parse_expr st in
+        eat st COMMA;
+        let dest = parse_expr st in
+        eat st COMMA;
+        let tag = parse_expr st in
+        Isend { value; dest; tag }
+    | "MPI_Irecv" ->
+        let target = eat_ident st in
+        eat st COMMA;
+        let src = parse_expr st in
+        eat st COMMA;
+        let tag = parse_expr st in
+        Irecv { target; src; tag }
+    | _ -> error st (Printf.sprintf "unknown nonblocking operation '%s'" name)
+  in
+  eat st RPAREN;
+  rop
+
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -389,6 +429,18 @@ and parse_stmt st =
               eat st RPAREN;
               eat st SEMI;
               mk (Recv { target = x; src; tag })
+          | IDENT name when is_request_op_name name ->
+              advance st;
+              let rop = parse_request_op st name in
+              eat st SEMI;
+              mk (Istart { req = x; rop })
+          | IDENT "MPI_Test" ->
+              advance st;
+              eat st LPAREN;
+              let req = eat_ident st in
+              eat st RPAREN;
+              eat st SEMI;
+              mk (Test { target = x; req })
           | _ ->
               let e = parse_expr st in
               eat st SEMI;
@@ -397,6 +449,12 @@ and parse_stmt st =
           let c = parse_collective st x in
           eat st SEMI;
           mk (Coll (None, c))
+      | LPAREN when String.equal x "MPI_Wait" ->
+          eat st LPAREN;
+          let req = eat_ident st in
+          eat st RPAREN;
+          eat st SEMI;
+          mk (Wait { req })
       | LPAREN when String.equal x "MPI_Send" ->
           eat st LPAREN;
           let value = parse_expr st in

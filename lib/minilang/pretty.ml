@@ -83,6 +83,19 @@ let pp_collective ppf (target, c) =
       Fmt.pf ppf "%aMPI_Reduce_scatter(%a, %s)" tgt () pp_expr value
         (reduce_op_name op)
 
+let pp_request_op ppf (req, rop) =
+  match rop with
+  | Ibarrier -> Fmt.pf ppf "%s = MPI_Ibarrier()" req
+  | Iallreduce { op; target; value } ->
+      Fmt.pf ppf "%s = MPI_Iallreduce(%s, %a, %s)" req target pp_expr value
+        (reduce_op_name op)
+  | Isend { value; dest; tag } ->
+      Fmt.pf ppf "%s = MPI_Isend(%a, %a, %a)" req pp_expr value pp_expr dest
+        pp_expr tag
+  | Irecv { target; src; tag } ->
+      Fmt.pf ppf "%s = MPI_Irecv(%s, %a, %a)" req target pp_expr src pp_expr
+        tag
+
 let pp_check ppf = function
   | Cc_next_collective { color; coll_name } ->
       Fmt.pf ppf "__cc_next(%d, \"%s\")" color coll_name
@@ -119,6 +132,9 @@ let rec pp_stmt n ppf s =
         pp_expr tag
   | Recv { target; src; tag } ->
       Fmt.pf ppf "%a%s = MPI_Recv(%a, %a);" ind () target pp_expr src pp_expr tag
+  | Istart { req; rop } -> Fmt.pf ppf "%a%a;" ind () pp_request_op (req, rop)
+  | Wait { req } -> Fmt.pf ppf "%aMPI_Wait(%s);" ind () req
+  | Test { target; req } -> Fmt.pf ppf "%a%s = MPI_Test(%s);" ind () target req
   | Omp_parallel { num_threads; body } ->
       let nt ppf () =
         match num_threads with

@@ -10,6 +10,10 @@
       of a structured block);
     - [barrier] may not be closely nested inside [single]/[master]/
       [critical]/worksharing constructs;
+    - request variables (bound by split-phase starts) are opaque: they may
+      only be named by [MPI_Wait]/[MPI_Test], never read, assigned, or
+      reused while in scope — the discipline that makes the static request
+      lifecycle tracking of [Parcoach.Requests] sound;
     - worksharing constructs ([single], [for], [sections]) may not be
       closely nested inside another worksharing or [master]/[critical]
       region of the same team;
@@ -43,6 +47,7 @@ type ctx = {
   in_single_like : bool;  (* closely nested in single/master/critical *)
   in_divergent : bool;  (* under if/while/for since innermost parallel *)
   vars : SSet.t;  (* variables in scope *)
+  reqs : SSet.t;  (* request variables in scope (disjoint from vars) *)
 }
 
 let initial_ctx params =
@@ -52,6 +57,7 @@ let initial_ctx params =
     in_single_like = false;
     in_divergent = false;
     vars = SSet.of_list params;
+    reqs = SSet.empty;
   }
 
 let check_program program =
@@ -69,7 +75,12 @@ let check_program program =
     | Int _ | Bool _ | Rank | Size | Tid | Nthreads -> ()
     | Var x ->
         if not (SSet.mem x ctx.vars) then
-          add Error loc (Printf.sprintf "use of undeclared variable '%s'" x)
+          add Error loc
+            (if SSet.mem x ctx.reqs then
+               Printf.sprintf
+                 "request variable '%s' may only be named by \
+                  MPI_Wait/MPI_Test" x
+             else Printf.sprintf "use of undeclared variable '%s'" x)
     | Unop (_, e) -> check_expr ctx loc e
     | Binop (_, a, b) ->
         check_expr ctx loc a;
@@ -91,6 +102,21 @@ let check_program program =
     | Reduce_scatter { value; _ } ->
         check_expr ctx loc value
   in
+  let check_buffer ctx loc target =
+    if not (SSet.mem target ctx.vars) then
+      add Error loc
+        (if SSet.mem target ctx.reqs then
+           Printf.sprintf "request variable '%s' may not be a receive buffer"
+             target
+         else Printf.sprintf "receive into undeclared variable '%s'" target)
+  in
+  let check_request ctx loc req =
+    if not (SSet.mem req ctx.reqs) then
+      add Error loc
+        (if SSet.mem req ctx.vars then
+           Printf.sprintf "'%s' is not a request variable" req
+         else Printf.sprintf "use of undeclared request '%s'" req)
+  in
   (* Walks a block; returns the context with declared variables added, so a
      declaration is visible to the rest of its block (but not outside). *)
   let rec check_block ctx block =
@@ -99,7 +125,10 @@ let check_program program =
          (fun ctx s ->
            check_stmt ctx s;
            match s.sdesc with
-           | Decl (x, _) -> { ctx with vars = SSet.add x ctx.vars }
+           | Decl (x, _) ->
+               { ctx with vars = SSet.add x ctx.vars; reqs = SSet.remove x ctx.reqs }
+           | Istart { req; _ } ->
+               { ctx with reqs = SSet.add req ctx.reqs; vars = SSet.remove req ctx.vars }
            | _ -> ctx)
          ctx block)
   and check_stmt ctx s =
@@ -108,7 +137,11 @@ let check_program program =
     | Decl (_, e) -> check_expr ctx loc e
     | Assign (x, e) ->
         if not (SSet.mem x ctx.vars) then
-          add Error loc (Printf.sprintf "assignment to undeclared variable '%s'" x);
+          add Error loc
+            (if SSet.mem x ctx.reqs then
+               Printf.sprintf "request variable '%s' may not be assigned" x
+             else
+               Printf.sprintf "assignment to undeclared variable '%s'" x);
         check_expr ctx loc e
     | If (c, bt, bf) ->
         check_expr ctx loc c;
@@ -129,7 +162,9 @@ let check_program program =
         let ctx' =
           if ctx.in_parallel > 0 then { ctx with in_divergent = true } else ctx
         in
-        check_block { ctx' with vars = SSet.add x ctx'.vars } b
+        check_block
+          { ctx' with vars = SSet.add x ctx'.vars; reqs = SSet.remove x ctx'.reqs }
+          b
     | Return ->
         if ctx.in_parallel > 0 || ctx.in_worksharing || ctx.in_single_like then
           add Error loc "'return' may not appear inside an OpenMP construct"
@@ -149,11 +184,34 @@ let check_program program =
         check_expr ctx loc dest;
         check_expr ctx loc tag
     | Recv { target; src; tag } ->
-        if not (SSet.mem target ctx.vars) then
-          add Error loc
-            (Printf.sprintf "receive into undeclared variable '%s'" target);
+        check_buffer ctx loc target;
         check_expr ctx loc src;
         check_expr ctx loc tag
+    | Istart { req; rop } ->
+        if SSet.mem req ctx.vars || SSet.mem req ctx.reqs then
+          add Error loc
+            (Printf.sprintf
+               "request variable '%s' redeclares a name already in scope" req);
+        (match rop with
+        | Ibarrier -> ()
+        | Iallreduce { target; value; _ } ->
+            check_buffer ctx loc target;
+            check_expr ctx loc value
+        | Isend { value; dest; tag } ->
+            check_expr ctx loc value;
+            check_expr ctx loc dest;
+            check_expr ctx loc tag
+        | Irecv { target; src; tag } ->
+            check_buffer ctx loc target;
+            check_expr ctx loc src;
+            check_expr ctx loc tag)
+    | Wait { req } -> check_request ctx loc req
+    | Test { target; req } ->
+        if not (SSet.mem target ctx.vars) then
+          add Error loc
+            (Printf.sprintf "test result assigned to undeclared variable '%s'"
+               target);
+        check_request ctx loc req
     | Coll (target, c) ->
         (match target with
         | Some x when not (SSet.mem x ctx.vars) ->
@@ -205,7 +263,12 @@ let check_program program =
                  "reduction variable '%s' is not declared in the enclosing scope" x)
         | Some _ | None -> ());
         check_block
-          { ctx with in_worksharing = true; vars = SSet.add var ctx.vars }
+          {
+            ctx with
+            in_worksharing = true;
+            vars = SSet.add var ctx.vars;
+            reqs = SSet.remove var ctx.reqs;
+          }
           body
     | Omp_sections { nowait; sections } ->
         check_worksharing_nesting ctx loc "sections";

@@ -30,6 +30,11 @@ type outcome =
       (** The CC agreement check found diverging colours: the instrumented
           program aborts cleanly before the faulty collective executes. *)
 
+(** Outcome of one nonblocking round (see {!nb_advance}). *)
+type nb_outcome =
+  | Nb_completed of { round : int; calls : rank_call list; results : int array }
+  | Nb_mismatch of { round : int; calls : rank_call list }
+
 type arrive_result =
   | Waiting  (** The caller must block until the collective completes. *)
   | Busy_rank of { pending_site : string; pending_kind : Coll.kind }
@@ -60,6 +65,17 @@ type t = {
   mutable hook : (rank:int -> trace_event -> unit) option;
       (** Streaming subscriber, called on every recorded arrival. *)
   mutable retain : bool;  (** Whether {!traces} accumulates events. *)
+  nb_queue : rank_call Queue.t array;
+      (** Per-rank FIFO of split-phase posts not yet part of a completed
+          round.  Nonblocking collectives match {e round-wise}: a rank's
+          [k]-th post joins global round [k], independently of the
+          blocking slots (MPI forbids matching [MPI_Ibarrier] against
+          [MPI_Barrier]; here the two matching domains simply never
+          meet, so such programs deadlock, as real ones do). *)
+  mutable nb_done : int;  (** Number of completed nonblocking rounds. *)
+  nb_results : (int, int array) Hashtbl.t;
+      (** Per-rank results of each matched round, kept until the job ends
+          so late [MPI_Wait]s can still collect their value. *)
 }
 
 let create ~nranks =
@@ -72,6 +88,9 @@ let create ~nranks =
     stats = { completed = 0; cc_checks = 0; by_kind = [] };
     hook = None;
     retain = true;
+    nb_queue = Array.init nranks (fun _ -> Queue.create ());
+    nb_done = 0;
+    nb_results = Hashtbl.create 16;
   }
 
 let nranks t = t.nranks
@@ -98,6 +117,24 @@ let pending t =
 
 let rank_waiting t rank = t.slots.(rank) <> None
 
+(* Feed one (non-CC) arrival to the trace stream and the streaming
+   subscriber.  Split-phase posts are recorded at posting time: MPI
+   requires all ranks to issue the collectives of a communicator in the
+   same order whether blocking or not, so one interleaved per-rank stream
+   is the faithful MUST-style event order. *)
+let record_arrival t ~rank call =
+  if call.Coll.kind <> Coll.Cc_check then begin
+    let event =
+      {
+        signature = Coll.signature call;
+        payload = call.Coll.payload;
+        event_site = call.Coll.site;
+      }
+    in
+    if t.retain then t.traces.(rank) <- event :: t.traces.(rank);
+    match t.hook with None -> () | Some f -> f ~rank event
+  end
+
 let arrive t ~rank ~cookie call =
   if rank < 0 || rank >= t.nranks then invalid_arg "Engine.arrive: bad rank";
   match t.slots.(rank) with
@@ -109,17 +146,7 @@ let arrive t ~rank ~cookie call =
         }
   | None ->
       t.slots.(rank) <- Some { rank; cookie; call };
-      if call.Coll.kind <> Coll.Cc_check then begin
-        let event =
-          {
-            signature = Coll.signature call;
-            payload = call.Coll.payload;
-            event_site = call.Coll.site;
-          }
-        in
-        if t.retain then t.traces.(rank) <- event :: t.traces.(rank);
-        match t.hook with None -> () | Some f -> f ~rank event
-      end;
+      record_arrival t ~rank call;
       Waiting
 
 let bump_kind stats kind =
@@ -169,6 +196,82 @@ let try_complete t =
         Some (Completed { calls; results })
       end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Nonblocking (split-phase) rounds                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [nb_post t ~rank ~cookie call] registers a split-phase collective
+    start ([MPI_Ibarrier]/[MPI_Iallreduce]) and returns the global round
+    index the post joined: the rank's [k]-th post belongs to round [k].
+    The caller does {e not} block — completion is observed through
+    {!nb_advance} and collected by a later wait.
+    @raise Invalid_argument on an out-of-range rank. *)
+let nb_post t ~rank ~cookie call =
+  if rank < 0 || rank >= t.nranks then invalid_arg "Engine.nb_post: bad rank";
+  let round = t.nb_done + Queue.length t.nb_queue.(rank) in
+  Queue.add { rank; cookie; call } t.nb_queue.(rank);
+  record_arrival t ~rank call;
+  round
+
+(** Match and complete every round all ranks have posted, strictly in
+    round order, returning the outcomes oldest first.  A matched round's
+    per-rank results are retained for {!nb_result}; a signature mismatch
+    produces {!Nb_mismatch} (the driver aborts, like a blocking
+    {!Mismatch}). *)
+let nb_advance t =
+  let ready () =
+    Array.for_all (fun q -> not (Queue.is_empty q)) t.nb_queue
+  in
+  let rec loop acc =
+    if not (ready ()) then List.rev acc
+    else begin
+      let round = t.nb_done in
+      let calls =
+        Array.to_list (Array.map (fun q -> Queue.pop q) t.nb_queue)
+      in
+      t.nb_done <- round + 1;
+      let sigs = List.map (fun rc -> Coll.signature rc.call) calls in
+      let first_sig = List.hd sigs in
+      if not (List.for_all (fun s -> s = first_sig) sigs) then
+        loop (Nb_mismatch { round; calls } :: acc)
+      else begin
+        let contributions = Array.make t.nranks 0 in
+        List.iter
+          (fun rc -> contributions.(rc.rank) <- rc.call.Coll.payload)
+          calls;
+        let model = (List.hd calls).call in
+        let results =
+          Array.init t.nranks (fun rank ->
+              Coll.result_for model ~rank ~contributions)
+        in
+        let kind = model.Coll.kind in
+        t.stats.completed <- t.stats.completed + 1;
+        bump_kind t.stats kind;
+        t.history <- kind :: t.history;
+        Hashtbl.replace t.nb_results round results;
+        loop (Nb_completed { round; calls; results } :: acc)
+      end
+    end
+  in
+  loop []
+
+(** Number of completed nonblocking rounds: round [k] is completable by a
+    waiter iff [k < nb_completed_rounds t]. *)
+let nb_completed_rounds t = t.nb_done
+
+(** Rank [rank]'s result of completed round [round] (0 for a round that
+    mismatched — the job aborts before anyone collects it). *)
+let nb_result t ~round ~rank =
+  match Hashtbl.find_opt t.nb_results round with
+  | Some results -> results.(rank)
+  | None -> 0
+
+(** Split-phase posts not yet part of a completed round, by rank then
+    posting order — deadlock diagnostics and state fingerprints. *)
+let nb_pending t =
+  Array.to_list t.nb_queue
+  |> List.concat_map (fun q -> List.of_seq (Queue.to_seq q))
 
 (** Completed (non-CC) collectives in execution order. *)
 let history t = List.rev t.history

@@ -18,6 +18,11 @@ type outcome =
   | Cc_divergence of rank_call list
       (** The CC agreement found diverging colours: clean abort. *)
 
+(** Outcome of one nonblocking round (see {!nb_advance}). *)
+type nb_outcome =
+  | Nb_completed of { round : int; calls : rank_call list; results : int array }
+  | Nb_mismatch of { round : int; calls : rank_call list }
+
 type arrive_result =
   | Waiting
   | Busy_rank of { pending_site : string; pending_kind : Coll.kind }
@@ -63,6 +68,28 @@ val arrive : t -> rank:int -> cookie:int -> Coll.call -> arrive_result
 (** If every rank has arrived, match and complete the collective; slots
     are cleared whatever the verdict. *)
 val try_complete : t -> outcome option
+
+(** Register a split-phase collective start ([MPI_Ibarrier] /
+    [MPI_Iallreduce]); returns the global round index the post joined
+    (the rank's [k]-th post belongs to round [k]).  Nonblocking rounds
+    match independently of the blocking slots: an [MPI_Ibarrier] never
+    meets an [MPI_Barrier].
+    @raise Invalid_argument on an out-of-range rank. *)
+val nb_post : t -> rank:int -> cookie:int -> Coll.call -> int
+
+(** Match and complete every round all ranks have posted, strictly in
+    round order; outcomes oldest first. *)
+val nb_advance : t -> nb_outcome list
+
+(** Round [k] is completable by a waiter iff [k < nb_completed_rounds t]. *)
+val nb_completed_rounds : t -> int
+
+(** Rank [rank]'s result of completed round [round]. *)
+val nb_result : t -> round:int -> rank:int -> int
+
+(** Split-phase posts not yet part of a completed round, by rank then
+    posting order (deadlock diagnostics, state fingerprints). *)
+val nb_pending : t -> rank_call list
 
 (** Completed (non-CC) collectives in execution order. *)
 val history : t -> Coll.kind list

@@ -242,18 +242,50 @@ let options_of_params params =
           taint_filter = flag "taint_filter";
           interprocedural = flag "interprocedural";
           races = flag "races";
+          requests = flag "requests";
         }
 
 let error_response id msg =
   Json.Obj [ ("id", id); ("ok", Json.Bool false); ("error", Json.Str msg) ]
 
+(* The warning-class filter shared with [parcoachc --only]: a
+   comma-separated string or a list of strings; unknown class names are
+   protocol errors (the CLI rejects them at option-parse time). *)
+let only_of_params params =
+  let check names =
+    match
+      List.find_opt
+        (fun c -> not (List.mem c Parcoach.Warning.all_classes))
+        names
+    with
+    | Some c ->
+        Error (Printf.sprintf "analyze: unknown warning class '%s'" c)
+    | None -> Ok (Some names)
+  in
+  match Json.member "only" params with
+  | None -> Ok None
+  | Some (Json.Str s) -> check (String.split_on_char ',' s)
+  | Some (Json.List items) -> (
+      let strs = List.filter_map Json.to_str items in
+      if List.length strs <> List.length items then
+        Error "analyze: 'only' list must contain only strings"
+      else check strs)
+  | Some _ -> Error "analyze: 'only' must be a string or a list of strings"
+
 let analyze_response t id params =
   match Option.bind (Json.member "source" params) Json.to_str with
   | None -> error_response id "analyze: missing string parameter 'source'"
   | Some source -> (
-      match options_of_params params with
+      match
+        match options_of_params params with
+        | Error msg -> Error msg
+        | Ok options -> (
+            match only_of_params params with
+            | Error msg -> Error msg
+            | Ok only -> Ok (options, only))
+      with
       | Error msg -> error_response id msg
-      | Ok options -> (
+      | Ok (options, only) -> (
           let jobs = Option.bind (Json.member "jobs" params) Json.to_int in
           let file =
             Option.bind (Json.member "file" params) Json.to_str
@@ -271,9 +303,12 @@ let analyze_response t id params =
                       ("issues", Json.Raw (Parcoach.Json_report.issues_json issues));
                     ]
               | Ok a ->
+                  let report =
+                    Parcoach.Driver.filter_classes a.report ~only
+                  in
                   let report_json =
                     Parcoach.Timings.record a.timings "render" (fun () ->
-                        Parcoach.Json_report.to_string ~issues:a.issues a.report)
+                        Parcoach.Json_report.to_string ~issues:a.issues report)
                   in
                   let stats = Cache.stats t.cache in
                   Json.Obj
@@ -283,7 +318,7 @@ let analyze_response t id params =
                       ("valid", Json.Bool true);
                       ("report", Json.Raw report_json);
                       ( "warnings",
-                        Json.Int (Parcoach.Driver.warning_count a.report) );
+                        Json.Int (Parcoach.Driver.warning_count report) );
                       ( "cache",
                         Json.Obj
                           [

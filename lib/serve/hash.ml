@@ -163,6 +163,33 @@ let rec add_stmt buf s =
       add_str buf target;
       add_expr buf src;
       add_expr buf tag
+  | Ast.Istart { req; rop } -> (
+      Buffer.add_char buf 'I';
+      add_str buf req;
+      match rop with
+      | Ast.Ibarrier -> Buffer.add_char buf 'B'
+      | Ast.Iallreduce { op; target; value } ->
+          Buffer.add_char buf 'A';
+          add_rop buf op;
+          add_str buf target;
+          add_expr buf value
+      | Ast.Isend { value; dest; tag } ->
+          Buffer.add_char buf 'D';
+          add_expr buf value;
+          add_expr buf dest;
+          add_expr buf tag
+      | Ast.Irecv { target; src; tag } ->
+          Buffer.add_char buf 'V';
+          add_str buf target;
+          add_expr buf src;
+          add_expr buf tag)
+  | Ast.Wait { req } ->
+      Buffer.add_char buf 'W';
+      add_str buf req
+  | Ast.Test { target; req } ->
+      Buffer.add_char buf 'T';
+      add_str buf target;
+      add_str buf req
   | Ast.Omp_parallel { num_threads; body } ->
       Buffer.add_char buf 'P';
       add_expr_opt buf num_threads;

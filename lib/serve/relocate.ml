@@ -25,6 +25,22 @@ let reloc_kind reloc (k : Parcoach.Warning.kind) =
   | Parcoach.Warning.Data_race r ->
       Parcoach.Warning.Data_race
         { r with loc1 = reloc r.loc1; loc2 = reloc r.loc2 }
+  | Parcoach.Warning.Request_leak l ->
+      Parcoach.Warning.Request_leak
+        { l with started = List.map reloc l.started }
+  | Parcoach.Warning.Request_double_wait d ->
+      Parcoach.Warning.Request_double_wait
+        { d with prior = List.map reloc d.prior }
+  | Parcoach.Warning.Request_stale_buffer s ->
+      Parcoach.Warning.Request_stale_buffer
+        { s with started = List.map reloc s.started }
+  | Parcoach.Warning.Request_completion_mismatch m ->
+      Parcoach.Warning.Request_completion_mismatch
+        {
+          m with
+          sites = List.map reloc m.sites;
+          conds = List.map reloc m.conds;
+        }
 
 let func_report ~cached ~fresh (fr : Parcoach.Driver.func_report) =
   if not (Ast.equal_func cached fresh) then

@@ -52,6 +52,83 @@ let mailbox_tests =
         match Mailbox.send mb ~src:0 ~dst:9 ~tag:0 ~value:0 ~site:"s" with
         | exception Invalid_argument _ -> ()
         | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "any_source matches only the requested tag" `Quick
+      (fun () ->
+        (* Three senders interleaved across two tags: the wildcard must
+           walk past younger messages of the wrong tag and take the
+           oldest one carrying the requested tag. *)
+        let mb = Mailbox.create ~nranks:4 in
+        Mailbox.send mb ~src:1 ~dst:0 ~tag:9 ~value:19 ~site:"a";
+        Mailbox.send mb ~src:2 ~dst:0 ~tag:5 ~value:25 ~site:"b";
+        Mailbox.send mb ~src:3 ~dst:0 ~tag:9 ~value:39 ~site:"c";
+        Mailbox.send mb ~src:1 ~dst:0 ~tag:5 ~value:15 ~site:"d";
+        let m1 =
+          Option.get (Mailbox.recv mb ~dst:0 ~src:Mailbox.any_source ~tag:5)
+        in
+        Alcotest.(check (pair int int)) "oldest tag-5 first" (2, 25)
+          (m1.Mailbox.src, m1.Mailbox.value);
+        let m2 =
+          Option.get (Mailbox.recv mb ~dst:0 ~src:Mailbox.any_source ~tag:5)
+        in
+        Alcotest.(check (pair int int)) "then the younger tag-5" (1, 15)
+          (m2.Mailbox.src, m2.Mailbox.value);
+        Alcotest.(check bool) "no tag-5 left" true
+          (Mailbox.recv mb ~dst:0 ~src:Mailbox.any_source ~tag:5 = None);
+        Alcotest.(check int) "tag-9 messages untouched" 2
+          (Mailbox.pending mb 0));
+    Alcotest.test_case "wildcard after targeted recv preserves channel FIFO"
+      `Quick (fun () ->
+        (* A targeted recv racing a wildcard on the same inbox: whichever
+           messages the targeted recv skips must still be delivered to
+           the wildcard oldest-first, and the targeted recv must not be
+           able to reorder a single (src, tag) channel. *)
+        let mb = Mailbox.create ~nranks:3 in
+        Mailbox.send mb ~src:1 ~dst:0 ~tag:0 ~value:11 ~site:"a";
+        Mailbox.send mb ~src:2 ~dst:0 ~tag:0 ~value:21 ~site:"b";
+        Mailbox.send mb ~src:1 ~dst:0 ~tag:0 ~value:12 ~site:"c";
+        Mailbox.send mb ~src:2 ~dst:0 ~tag:0 ~value:22 ~site:"d";
+        (* Targeted recv from rank 2 takes 21 (oldest on the 2→0 channel),
+           leaving 11, 12, 22. *)
+        let t = Option.get (Mailbox.recv mb ~dst:0 ~src:2 ~tag:0) in
+        Alcotest.(check int) "targeted takes channel head" 21 t.Mailbox.value;
+        (* The wildcard then drains in arrival order: 11, 12, 22 — per
+           channel still FIFO (11 before 12, 21 before 22). *)
+        let drain () =
+          (Option.get (Mailbox.recv mb ~dst:0 ~src:Mailbox.any_source ~tag:0))
+            .Mailbox.value
+        in
+        let d1 = drain () in
+        let d2 = drain () in
+        let d3 = drain () in
+        Alcotest.(check (list int)) "wildcard drains oldest-first"
+          [ 11; 12; 22 ] [ d1; d2; d3 ];
+        Alcotest.(check int) "inbox empty" 0 (Mailbox.pending mb 0));
+    Alcotest.test_case "wildcard interleaving across three ranks" `Quick
+      (fun () ->
+        (* Senders 1, 2, 3 alternate; repeated wildcard receives must
+           observe global arrival order regardless of source. *)
+        let mb = Mailbox.create ~nranks:4 in
+        List.iter
+          (fun (src, value) ->
+            Mailbox.send mb ~src ~dst:0 ~tag:7 ~value ~site:"s")
+          [ (3, 30); (1, 10); (2, 20); (1, 11); (3, 31); (2, 21) ];
+        let got =
+          (* Explicit fold: list literals and [List.init] have
+             unspecified element evaluation order. *)
+          List.rev
+            (List.fold_left
+               (fun acc _ ->
+                 let m =
+                   Option.get
+                     (Mailbox.recv mb ~dst:0 ~src:Mailbox.any_source ~tag:7)
+                 in
+                 (m.Mailbox.src, m.Mailbox.value) :: acc)
+               [] [ 0; 1; 2; 3; 4; 5 ])
+        in
+        Alcotest.(check (list (pair int int)))
+          "arrival order"
+          [ (3, 30); (1, 10); (2, 20); (1, 11); (3, 31); (2, 21) ]
+          got);
   ]
 
 let parse src = Minilang.Parser.parse_string ~file:"test" src

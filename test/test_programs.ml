@@ -139,6 +139,73 @@ let tests =
              (fun (v : Farm.Oracle.violation) ->
                String.equal v.Farm.Oracle.vkind "static-clean-run-stop")
              drilled.Farm.Oracle.violations));
+    Alcotest.test_case
+      "leaky_request.hml: path-dependent leak, static and dynamic" `Quick
+      (fun () ->
+        let p = load "leaky_request.hml" in
+        Alcotest.(check bool) "validates" true
+          (Minilang.Validate.is_valid (Minilang.Validate.check_program p));
+        let report =
+          Parcoach.Driver.analyze
+            ~options:
+              {
+                Parcoach.Driver.default_options with
+                Parcoach.Driver.requests = true;
+                taint_filter = true;
+              }
+            p
+        in
+        let classes =
+          List.map fst (Parcoach.Driver.warnings_by_class report)
+        in
+        Alcotest.(check bool) "leak warning" true
+          (List.mem "request leak" classes);
+        Alcotest.(check bool) "stale-buffer warning" true
+          (List.mem "use before completion" classes);
+        let result = Interp.Sim.run ~config p in
+        Alcotest.(check bool) "finishes" true (Interp.Sim.is_finished result);
+        Alcotest.(check bool) "leak observed on every rank" true
+          (List.length
+             (List.filter
+                (function
+                  | Interp.Sim.Leaked_request _ -> true
+                  | _ -> false)
+                result.Interp.Sim.lifecycle)
+          = config.Interp.Sim.nranks));
+    Alcotest.test_case
+      "ibarrier_divergence.hml: rank-divergent completion, static and dynamic"
+      `Quick (fun () ->
+        let p = load "ibarrier_divergence.hml" in
+        Alcotest.(check bool) "validates" true
+          (Minilang.Validate.is_valid (Minilang.Validate.check_program p));
+        let report =
+          Parcoach.Driver.analyze
+            ~options:
+              {
+                Parcoach.Driver.default_options with
+                Parcoach.Driver.requests = true;
+                taint_filter = true;
+              }
+            p
+        in
+        let classes =
+          List.map fst (Parcoach.Driver.warnings_by_class report)
+        in
+        Alcotest.(check bool) "completion-mismatch warning" true
+          (List.mem "completion mismatch" classes);
+        Alcotest.(check bool) "leak warning" true
+          (List.mem "request leak" classes);
+        let result = Interp.Sim.run ~config p in
+        Alcotest.(check bool) "finishes" true (Interp.Sim.is_finished result);
+        (* Every rank but the waiting rank 0 leaks its request. *)
+        Alcotest.(check int) "leaks on the non-waiting ranks"
+          (config.Interp.Sim.nranks - 1)
+          (List.length
+             (List.filter
+                (function
+                  | Interp.Sim.Leaked_request _ -> true
+                  | _ -> false)
+                result.Interp.Sim.lifecycle)));
   ]
 
 let suite = [ ("programs.samples", tests) ]

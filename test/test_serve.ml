@@ -472,7 +472,64 @@ let test_daemon_protocol_errors () =
   check_error "bad level"
     {|{"id":1,"method":"analyze","params":{"source":"func main() { }","level":"nope"}}|};
   check_error "bad jobs"
-    {|{"id":1,"method":"analyze","params":{"source":"func main() { }","jobs":0}}|}
+    {|{"id":1,"method":"analyze","params":{"source":"func main() { }","jobs":0}}|};
+  check_error "unknown warning class in only"
+    {|{"id":1,"method":"analyze","params":{"source":"func main() { }","only":"no-such-class"}}|}
+
+(* The requests pass and the warning-class filter, shared with
+   [parcoachc --requests] / [--only]. *)
+let test_daemon_only_filter () =
+  let source =
+    "func main() {\n\
+    \  r = MPI_Ibarrier();\n\
+    \  if (rank() == 0) {\n\
+    \    MPI_Wait(r);\n\
+    \  }\n\
+     }\n"
+  in
+  let request id only =
+    Serve.Json.to_string
+      (Serve.Json.Obj
+         ([
+            ("id", Serve.Json.Int id);
+            ("method", Serve.Json.Str "analyze");
+          ]
+         @ [
+             ( "params",
+               Serve.Json.Obj
+                 ([
+                    ("source", Serve.Json.Str source);
+                    ("file", Serve.Json.Str "only.hml");
+                    ("taint_filter", Serve.Json.Bool true);
+                    ("requests", Serve.Json.Bool true);
+                  ]
+                 @
+                 match only with
+                 | None -> []
+                 | Some classes -> [ ("only", Serve.Json.Str classes) ]) );
+           ]))
+  in
+  let warning_count response =
+    match
+      Option.bind (Serve.Json.member "warnings" response) Serve.Json.to_int
+    with
+    | Some n -> n
+    | None -> Alcotest.failf "response without warning count"
+  in
+  let responses =
+    run_serve ~pool:1
+      [
+        request 1 None;
+        request 2 (Some "request leak");
+        request 3 (Some "data race");
+      ]
+  in
+  let get id = List.assoc id responses in
+  (* Unfiltered: the leak and the completion mismatch. *)
+  Alcotest.(check int) "both warnings unfiltered" 2 (warning_count (get 1));
+  Alcotest.(check int) "leak only" 1 (warning_count (get 2));
+  Alcotest.(check int) "disjoint class filters everything" 0
+    (warning_count (get 3))
 
 (* ------------------------------------------------------------------ *)
 (* Driver.analyze ?reuse                                               *)
@@ -578,6 +635,8 @@ let suite =
           test_daemon_invalid_source;
         Alcotest.test_case "daemon pool = sequential responses" `Quick
           test_daemon_pool_deterministic;
+        Alcotest.test_case "daemon warning-class filter" `Quick
+          test_daemon_only_filter;
         Alcotest.test_case "daemon protocol errors" `Quick
           test_daemon_protocol_errors;
         Alcotest.test_case "Driver.analyze reuse identity" `Quick
